@@ -1,0 +1,17 @@
+"""Ablation benchmark — Barrier implementation strategies in the storage controller.
+
+Regenerates the rows of the paper's Ablation using the simulated IO stack and
+prints them; pytest-benchmark records how long the regeneration takes so
+regressions in the simulator itself are visible too.
+"""
+
+from repro.experiments import ablation_barrier_modes as experiment
+
+
+def test_ablation_barrier_modes(benchmark, paper_scale, capsys):
+    """Regenerate Ablation and print the resulting table."""
+    result = benchmark.pedantic(experiment.run, args=(paper_scale,), rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(result)
+    assert result.rows, "experiment produced no rows"

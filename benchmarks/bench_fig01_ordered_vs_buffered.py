@@ -1,0 +1,17 @@
+"""Fig. 1 benchmark — Ordered write() vs buffered write() across the A-G device line-up.
+
+Regenerates the rows of the paper's Fig. 1 using the simulated IO stack and
+prints them; pytest-benchmark records how long the regeneration takes so
+regressions in the simulator itself are visible too.
+"""
+
+from repro.experiments import fig1_ordered_vs_buffered as experiment
+
+
+def test_fig01_ordered_vs_buffered(benchmark, paper_scale, capsys):
+    """Regenerate Fig. 1 and print the resulting table."""
+    result = benchmark.pedantic(experiment.run, args=(paper_scale,), rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(result)
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,17 @@
+"""Fig. 8 benchmark — Journal commit interval under the four commit schemes.
+
+Regenerates the rows of the paper's Fig. 8 using the simulated IO stack and
+prints them; pytest-benchmark records how long the regeneration takes so
+regressions in the simulator itself are visible too.
+"""
+
+from repro.experiments import fig8_commit_interval as experiment
+
+
+def test_fig08_commit_interval(benchmark, paper_scale, capsys):
+    """Regenerate Fig. 8 and print the resulting table."""
+    result = benchmark.pedantic(experiment.run, args=(paper_scale,), rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(result)
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,17 @@
+"""Fig. 9 benchmark — 4KB random-write throughput under XnF/X/B/P ordering schemes.
+
+Regenerates the rows of the paper's Fig. 9 using the simulated IO stack and
+prints them; pytest-benchmark records how long the regeneration takes so
+regressions in the simulator itself are visible too.
+"""
+
+from repro.experiments import fig9_random_write as experiment
+
+
+def test_fig09_random_write(benchmark, paper_scale, capsys):
+    """Regenerate Fig. 9 and print the resulting table."""
+    result = benchmark.pedantic(experiment.run, args=(paper_scale,), rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(result)
+    assert result.rows, "experiment produced no rows"

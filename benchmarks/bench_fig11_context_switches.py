@@ -1,0 +1,17 @@
+"""Fig. 11 benchmark — Context switches per fsync()/fbarrier().
+
+Regenerates the rows of the paper's Fig. 11 using the simulated IO stack and
+prints them; pytest-benchmark records how long the regeneration takes so
+regressions in the simulator itself are visible too.
+"""
+
+from repro.experiments import fig11_context_switches as experiment
+
+
+def test_fig11_context_switches(benchmark, paper_scale, capsys):
+    """Regenerate Fig. 11 and print the resulting table."""
+    result = benchmark.pedantic(experiment.run, args=(paper_scale,), rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(result)
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,17 @@
+"""Fig. 12 benchmark — BarrierFS queue depth: durability vs ordering guarantee.
+
+Regenerates the rows of the paper's Fig. 12 using the simulated IO stack and
+prints them; pytest-benchmark records how long the regeneration takes so
+regressions in the simulator itself are visible too.
+"""
+
+from repro.experiments import fig12_barrierfs_queue_depth as experiment
+
+
+def test_fig12_barrierfs_qd(benchmark, paper_scale, capsys):
+    """Regenerate Fig. 12 and print the resulting table."""
+    result = benchmark.pedantic(experiment.run, args=(paper_scale,), rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(result)
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,17 @@
+"""Fig. 13 benchmark — fxmark DWSL journaling scalability.
+
+Regenerates the rows of the paper's Fig. 13 using the simulated IO stack and
+prints them; pytest-benchmark records how long the regeneration takes so
+regressions in the simulator itself are visible too.
+"""
+
+from repro.experiments import fig13_fxmark as experiment
+
+
+def test_fig13_fxmark(benchmark, paper_scale, capsys):
+    """Regenerate Fig. 13 and print the resulting table."""
+    result = benchmark.pedantic(experiment.run, args=(paper_scale,), rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(result)
+    assert result.rows, "experiment produced no rows"

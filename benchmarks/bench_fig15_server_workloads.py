@@ -1,0 +1,17 @@
+"""Fig. 15 benchmark — varmail and OLTP-insert server workloads.
+
+Regenerates the rows of the paper's Fig. 15 using the simulated IO stack and
+prints them; pytest-benchmark records how long the regeneration takes so
+regressions in the simulator itself are visible too.
+"""
+
+from repro.experiments import fig15_server_workloads as experiment
+
+
+def test_fig15_server_workloads(benchmark, paper_scale, capsys):
+    """Regenerate Fig. 15 and print the resulting table."""
+    result = benchmark.pedantic(experiment.run, args=(paper_scale,), rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(result)
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,17 @@
+"""Table 1 benchmark — fsync() latency statistics, EXT4 vs BarrierFS.
+
+Regenerates the rows of the paper's Table 1 using the simulated IO stack and
+prints them; pytest-benchmark records how long the regeneration takes so
+regressions in the simulator itself are visible too.
+"""
+
+from repro.experiments import table1_fsync_latency as experiment
+
+
+def test_table1_fsync_latency(benchmark, paper_scale, capsys):
+    """Regenerate Table 1 and print the resulting table."""
+    result = benchmark.pedantic(experiment.run, args=(paper_scale,), rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(result)
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper.  The
+``paper_scale`` option controls how many iterations each experiment runs;
+the default keeps the full suite under a couple of minutes while preserving
+the shapes the paper reports.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store",
+        default="1.0",
+        help="iteration-count multiplier for the experiment benchmarks",
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_scale(request) -> float:
+    """Scale factor applied to every experiment's iteration counts."""
+    return float(request.config.getoption("--paper-scale"))

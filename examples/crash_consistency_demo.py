@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Crash-consistency demonstration: why the barrier is safe and nobarrier is not.
+
+Writes an ordered sequence of "database" blocks through three stacks —
+EXT4 with durability (transfer-and-flush), EXT4 nobarrier (no ordering at
+the device!) and the barrier-enabled stack — then cuts power mid-run and
+checks whether the storage order survived, using the epoch-prefix checker.
+
+Expected outcome:
+
+* EXT4-DR        : order preserved (but every write paid a flush);
+* EXT4 nobarrier : order violations appear — later blocks can survive while
+                   earlier ones are lost;
+* Barrier stack  : order preserved with no flush at all.
+"""
+
+from repro.block.request import RequestFlag
+from repro.core import build_stack, standard_config
+from repro.core.verification import epoch_prefix_holds
+from repro.storage.command import WrittenBlock
+from repro.storage.crash import recover_durable_blocks
+
+
+def run_one(config_name: str, ordered: bool) -> None:
+    stack = build_stack(standard_config(config_name, "plain-ssd"))
+    block_device = stack.block
+    sim = stack.sim
+
+    def writer():
+        for index in range(600):
+            flags = (
+                RequestFlag.ORDERED | RequestFlag.BARRIER
+                if ordered and block_device.order_preserving
+                else RequestFlag.NONE
+            )
+            block_device.write(
+                index, 1,
+                payload=[WrittenBlock(("record", index), 1)],
+                flags=flags,
+                issuer="db",
+            )
+            yield sim.timeout(30)
+        return None
+
+    process = sim.process(writer())
+    # Cut power mid-run: run for a fixed simulated time, then stop.
+    sim.run(until=15_000)
+    stack.device.power_off()
+    state = recover_durable_blocks(stack.device)
+    durable_records = sorted(
+        index for (kind, index), _v in state.durable_blocks.items() if kind == "record"
+    )
+    holes = [
+        index for index in range(max(durable_records, default=-1))
+        if index not in durable_records
+    ]
+    ordered_ok = epoch_prefix_holds(state) and not holes
+    print(
+        f"  {config_name:8s} durable={len(durable_records):3d}/600  "
+        f"holes_before_last_survivor={len(holes):3d}  storage_order_preserved={ordered_ok}"
+    )
+    _ = process  # the writer is abandoned at the crash point, as in a real power cut
+
+
+def main() -> None:
+    print("Power cut after 15 ms of writing 600 ordered records:\n")
+    run_one("EXT4-OD", ordered=False)   # nobarrier: no ordering at the device
+    run_one("BFS-OD", ordered=True)     # barrier writes: ordering without flush
+    print(
+        "\nWith the legacy nobarrier stack the device persists whatever it likes,\n"
+        "so records can survive out of order; with barrier writes the durable set\n"
+        "is always a prefix of the issue order even though no flush was sent."
+    )
+
+
+if __name__ == "__main__":
+    main()

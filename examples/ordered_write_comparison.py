@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Block-level comparison of the four ordering schemes (Fig. 9 in miniature).
+
+For each evaluation device, runs the XnF / X / B / P scenarios and prints
+throughput and queue depth, showing how Wait-on-Transfer collapses the queue
+while barrier writes saturate it.
+"""
+
+from repro.experiments.blocklevel import SCENARIOS, run_scenario
+
+LABELS = {
+    "XnF": "write + fdatasync (transfer-and-flush)",
+    "X": "write + wait-on-transfer (nobarrier)",
+    "B": "write + fdatabarrier (barrier write)",
+    "P": "plain buffered write",
+}
+
+
+def main() -> None:
+    for device in ("ufs", "plain-ssd", "supercap-ssd"):
+        print(f"\n=== {device} ===")
+        for scenario in SCENARIOS:
+            writes = 150 if scenario in ("XnF", "X") else 800
+            result = run_scenario(scenario, device, num_writes=writes)
+            print(
+                f"  {scenario:3s} {LABELS[scenario]:42s} "
+                f"{result.kiops:8.1f} KIOPS   max QD {result.max_queue_depth:4.0f}"
+            )
+
+
+if __name__ == "__main__":
+    main()

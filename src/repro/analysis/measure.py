@@ -1,0 +1,100 @@
+"""Measurement loops shared by several experiments.
+
+These helpers run a "write N pages then sync" loop inside a simulated stack
+and return the latency distribution, the number of application-level context
+switches per call, or the device queue-depth trace — the raw material of
+Table 1 and Figs. 9–12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.stack import IOStack
+from repro.simulation.stats import LatencyRecorder, TimeSeries
+
+
+@dataclass
+class SyncLoopResult:
+    """Result of a write+sync measurement loop."""
+
+    latencies: LatencyRecorder
+    context_switches_per_call: float
+    elapsed_usec: float
+    calls: int
+
+    @property
+    def iops(self) -> float:
+        """Sync calls per second."""
+        if self.elapsed_usec <= 0:
+            return 0.0
+        return self.calls / (self.elapsed_usec / 1_000_000.0)
+
+
+def _sync_generator(stack: IOStack, sync_call: str, fs, handle, issuer: str):
+    call = getattr(fs, sync_call)
+    return call(handle, issuer=issuer)
+
+
+def measure_sync_latency(
+    stack: IOStack,
+    *,
+    calls: int,
+    sync_call: str = "fsync",
+    allocating: bool = True,
+    pages_per_write: int = 1,
+    file_name: str = "bench.dat",
+) -> SyncLoopResult:
+    """Run ``calls`` iterations of write+sync and record latencies."""
+    fs = stack.fs
+    sim = stack.sim
+    latencies = LatencyRecorder(sync_call)
+    switches = {"total": 0}
+    elapsed = {"usec": 0.0}
+
+    def loop():
+        handle = fs.create(file_name, preallocate_pages=0 if allocating else 4096)
+        process = sim.active_process
+        start = sim.now
+        for index in range(calls):
+            if not allocating:
+                fs.write(handle, pages_per_write, offset_page=index % 4000)
+            else:
+                fs.write(handle, pages_per_write)
+            call_start = sim.now
+            switches_before = process.context_switches
+            yield from _sync_generator(stack, sync_call, fs, handle, "bench")
+            latencies.record(sim.now - call_start)
+            switches["total"] += process.context_switches - switches_before
+        elapsed["usec"] = sim.now - start
+        return None
+
+    stack.run_process(loop())
+    return SyncLoopResult(
+        latencies=latencies,
+        context_switches_per_call=switches["total"] / calls if calls else 0.0,
+        elapsed_usec=elapsed["usec"],
+        calls=calls,
+    )
+
+
+def measure_context_switches(stack: IOStack, *, calls: int, sync_call: str,
+                             allocating: bool = True) -> float:
+    """Average application context switches per sync call (Fig. 11)."""
+    result = measure_sync_latency(
+        stack, calls=calls, sync_call=sync_call, allocating=allocating
+    )
+    return result.context_switches_per_call
+
+
+def queue_depth_trace(stack: IOStack) -> TimeSeries:
+    """The device command-queue depth trace of a run (Figs. 10 and 12).
+
+    The stack must have been built with ``track_queue_depth=True``.
+    """
+    series = stack.device.queue_depth_series
+    if series is None:
+        raise ValueError(
+            "queue depth tracking disabled; build the stack with track_queue_depth=True"
+        )
+    return series

@@ -1,0 +1,75 @@
+"""Tabular reporting of experiment results.
+
+Every experiment returns an :class:`ExperimentResult`: a label, the column
+names and a list of rows.  :func:`format_table` renders it as the plain-text
+table printed by the benchmark harness and recorded in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """A table of results for one experiment (one figure or table)."""
+
+    name: str
+    description: str
+    columns: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, *values: object) -> None:
+        """Append one row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"{self.name}: expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append(values)
+
+    def column(self, name: str) -> list[object]:
+        """All values of one column."""
+        index = list(self.columns).index(name)
+        return [row[index] for row in self.rows]
+
+    def as_dicts(self) -> list[dict[str, object]]:
+        """Rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def __str__(self) -> str:
+        return format_table(self)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(result: ExperimentResult) -> str:
+    """Render an :class:`ExperimentResult` as an aligned plain-text table."""
+    header = [str(column) for column in result.columns]
+    body = [[_format_cell(value) for value in row] for row in result.rows]
+    widths = [
+        max(len(header[index]), *(len(row[index]) for row in body)) if body else len(header[index])
+        for index in range(len(header))
+    ]
+    lines = [
+        f"== {result.name} ==",
+        result.description,
+        "  ".join(column.ljust(width) for column, width in zip(header, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in body:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    if result.notes:
+        lines.append(f"note: {result.notes}")
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Application workload models used in the paper's evaluation.
+
+Each application is modelled at the system-call level: which files it
+writes, how many pages per operation, and — crucially for this paper — how
+many sync-family calls it issues per transaction and which of them only need
+ordering rather than durability.
+
+* :mod:`repro.apps.sqlite` — SQLite in PERSIST (rollback-journal) and WAL
+  modes; four fdatasync() per insert in PERSIST mode, three of which are
+  ordering-only (Section 5).
+* :mod:`repro.apps.mysql` — MySQL/InnoDB OLTP-insert (sysbench): redo-log
+  and binlog fsync per transaction.
+* :mod:`repro.apps.varmail` — filebench varmail: metadata-heavy
+  create/append/fsync/delete mail workload.
+* :mod:`repro.apps.fxmark` — fxmark DWSL: per-thread private files, 4 KiB
+  allocating write + fsync, used for the journaling-scalability experiment.
+* :mod:`repro.apps.syncpolicy` — maps "durability" vs "ordering" guarantees
+  onto the sync calls each filesystem offers (fsync/fdatasync vs
+  fbarrier/fdatabarrier vs osync).
+"""
+
+from repro.apps.fxmark import FxmarkDWSL, FxmarkResult
+from repro.apps.mysql import MySQLOLTPInsert, OLTPResult
+from repro.apps.sqlite import SQLiteJournalMode, SQLiteResult, SQLiteWorkload
+from repro.apps.syncpolicy import Guarantee, SyncPolicy
+from repro.apps.varmail import VarmailResult, VarmailWorkload
+
+__all__ = [
+    "FxmarkDWSL",
+    "FxmarkResult",
+    "Guarantee",
+    "MySQLOLTPInsert",
+    "OLTPResult",
+    "SQLiteJournalMode",
+    "SQLiteResult",
+    "SQLiteWorkload",
+    "SyncPolicy",
+    "VarmailResult",
+    "VarmailWorkload",
+]

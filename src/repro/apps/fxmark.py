@@ -1,0 +1,91 @@
+"""fxmark DWSL workload (journaling scalability, Fig. 13).
+
+DWSL ("data write, sync, low sharing") spawns one thread per simulated core;
+each thread owns a private file and repeatedly performs a 4 KiB allocating
+write followed by ``fsync()``.  Because every operation commits a journal
+transaction, the aggregate ops/s measures how well the filesystem journal
+scales with concurrency — EXT4 serialises commits behind transfer-and-flush
+while BarrierFS's dual-mode journal keeps several commits in flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.stack import IOStack
+from repro.simulation.stats import LatencyRecorder
+
+
+@dataclass
+class FxmarkResult:
+    """Outcome of one DWSL run."""
+
+    num_threads: int
+    operations: int
+    elapsed_usec: float
+    latencies: LatencyRecorder = field(default_factory=lambda: LatencyRecorder("fsync"))
+
+    @property
+    def ops_per_second(self) -> float:
+        """Aggregate operations per second across all threads."""
+        if self.elapsed_usec <= 0:
+            return 0.0
+        return self.operations / (self.elapsed_usec / 1_000_000.0)
+
+
+class FxmarkDWSL:
+    """Private-file write+fsync scalability microbenchmark."""
+
+    def __init__(self, stack: IOStack, *, num_threads: int, use_fbarrier: bool = False,
+                 cpu_per_operation: float = 15.0):
+        if num_threads < 1:
+            raise ValueError("fxmark needs at least one thread")
+        self.stack = stack
+        self.num_threads = num_threads
+        self.use_fbarrier = use_fbarrier
+        #: Host CPU work per write+fsync pair, microseconds.
+        self.cpu_per_operation = cpu_per_operation
+
+    def run(self, ops_per_thread: int) -> FxmarkResult:
+        """Run ``ops_per_thread`` write+fsync operations on every thread."""
+        sim = self.stack.sim
+        result = FxmarkResult(
+            num_threads=self.num_threads,
+            operations=0,
+            elapsed_usec=0.0,
+        )
+        start = sim.now
+
+        def controller():
+            workers = [
+                sim.process(
+                    self._worker(thread_id, ops_per_thread, result),
+                    name=f"dwsl-{thread_id}",
+                )
+                for thread_id in range(self.num_threads)
+            ]
+            yield sim.all_of(workers)
+            return None
+
+        self.stack.run_process(controller())
+        result.elapsed_usec = sim.now - start
+        return result
+
+    def _worker(self, thread_id: int, operations: int, result: FxmarkResult):
+        fs = self.stack.fs
+        sim = self.stack.sim
+        issuer = f"dwsl-{thread_id}"
+        private_file = fs.create(f"fxmark/{thread_id}.dat")
+
+        for _ in range(operations):
+            op_start = sim.now
+            if self.cpu_per_operation > 0:
+                yield sim.timeout(self.cpu_per_operation)
+            fs.write(private_file, 1)
+            if self.use_fbarrier:
+                yield from fs.fbarrier(private_file, issuer=issuer)
+            else:
+                yield from fs.fsync(private_file, issuer=issuer)
+            result.operations += 1
+            result.latencies.record(sim.now - op_start)
+        return None

@@ -1,0 +1,127 @@
+"""Filebench *varmail* workload model (Fig. 15).
+
+varmail emulates a maildir-style mail server: a pool of small files that are
+continuously created, appended to, fsynced, read and deleted.  One loop
+iteration performs the canonical varmail sequence (create+append+fsync,
+append-to-existing+fsync, whole-file read, delete) and contributes four
+operations to the ops/s figure, mirroring how filebench counts them.
+
+The workload is metadata-heavy — every iteration allocates and deletes files
+— which is why it stresses journal-commit latency rather than data
+bandwidth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.apps.syncpolicy import Guarantee, SyncPolicy
+from repro.core.stack import IOStack
+from repro.simulation.stats import LatencyRecorder
+
+
+@dataclass
+class VarmailResult:
+    """Outcome of one varmail run."""
+
+    operations: int
+    elapsed_usec: float
+    latencies: LatencyRecorder = field(default_factory=lambda: LatencyRecorder("op"))
+
+    @property
+    def ops_per_second(self) -> float:
+        """Operations per second (the paper's ops/s)."""
+        if self.elapsed_usec <= 0:
+            return 0.0
+        return self.operations / (self.elapsed_usec / 1_000_000.0)
+
+
+class VarmailWorkload:
+    """Mail-server file churn with frequent fsync."""
+
+    #: Operations counted per loop iteration (create+fsync, append+fsync,
+    #: read, delete), matching filebench's accounting.
+    OPS_PER_ITERATION = 4
+
+    def __init__(
+        self,
+        stack: IOStack,
+        *,
+        relax_durability: bool = False,
+        mail_pages: int = 4,
+        file_pool: int = 64,
+        num_threads: int = 2,
+        cpu_per_iteration: float = 40.0,
+        seed: int = 7,
+    ):
+        self.stack = stack
+        self.policy = SyncPolicy(stack.fs, relax_durability=relax_durability)
+        #: Host CPU work per loop iteration (namei, dirent updates), microseconds.
+        self.cpu_per_iteration = cpu_per_iteration
+        self.mail_pages = mail_pages
+        self.file_pool = file_pool
+        self.num_threads = num_threads
+        self.seed = seed
+
+    def run(self, iterations_per_thread: int) -> VarmailResult:
+        """Run the workload on ``num_threads`` concurrent threads."""
+        sim = self.stack.sim
+        result = VarmailResult(operations=0, elapsed_usec=0.0)
+        start = sim.now
+
+        def controller():
+            workers = [
+                sim.process(
+                    self._worker(thread_id, iterations_per_thread, result),
+                    name=f"varmail-{thread_id}",
+                )
+                for thread_id in range(self.num_threads)
+            ]
+            yield sim.all_of(workers)
+            return None
+
+        self.stack.run_process(controller())
+        result.elapsed_usec = sim.now - start
+        return result
+
+    def _worker(self, thread_id: int, iterations: int, result: VarmailResult):
+        fs = self.stack.fs
+        sim = self.stack.sim
+        rng = random.Random(self.seed + thread_id)
+        issuer = f"varmail-{thread_id}"
+        sequence = 0
+
+        # Pre-populate a small pool of mailbox files to append to.
+        pool = []
+        for index in range(4):
+            mailbox = fs.create(f"mail/{thread_id}/box{index}")
+            fs.write(mailbox, self.mail_pages)
+            pool.append(mailbox)
+
+        for _ in range(iterations):
+            op_start = sim.now
+            if self.cpu_per_iteration > 0:
+                yield sim.timeout(self.cpu_per_iteration)
+            # (1) deliver a new message: create + append + fsync.
+            sequence += 1
+            new_mail = fs.create(f"mail/{thread_id}/msg{sequence}")
+            fs.write(new_mail, self.mail_pages)
+            yield from self.policy.metadata_sync(
+                new_mail, Guarantee.DURABILITY, issuer=issuer
+            )
+            # (2) update an existing mailbox: append + fsync.
+            mailbox = rng.choice(pool)
+            fs.write(mailbox, self.mail_pages // 2 or 1)
+            yield from self.policy.metadata_sync(
+                mailbox, Guarantee.DURABILITY, issuer=issuer
+            )
+            # (3) read a message (cheap; served from the page cache model).
+            # (4) expire an old message.
+            if sequence > self.file_pool and fs.exists(
+                f"mail/{thread_id}/msg{sequence - self.file_pool}"
+            ):
+                fs.unlink(f"mail/{thread_id}/msg{sequence - self.file_pool}")
+            result.operations += self.OPS_PER_ITERATION
+            result.latencies.record(sim.now - op_start)
+        return None

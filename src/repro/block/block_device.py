@@ -1,0 +1,246 @@
+"""The block device: request queue, IO scheduler and dispatcher.
+
+:class:`BlockDevice` is what the filesystems submit :class:`BlockRequest`
+objects to.  It owns an IO scheduler (optionally the epoch scheduler), a
+dispatcher process that turns scheduled requests into device commands, and
+the bookkeeping the verification and experiment code rely on (issue /
+dispatch logs, epoch numbering, per-request milestone events).
+
+The barrier-enabled configuration is: epoch scheduler + order-preserving
+dispatch + a barrier-capable device.  The legacy configuration is: a stock
+scheduler + legacy dispatch; ordering then has to be enforced by the caller
+with Wait-on-Transfer and explicit flushes, exactly as in the paper's
+baseline measurements.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Generator, Optional, Sequence
+
+from repro.block.dispatch import DispatchPolicy, request_to_command
+from repro.block.request import BlockRequest, RequestFlag, RequestOp
+from repro.block.scheduler import EpochIOScheduler, IOScheduler, make_scheduler
+from repro.simulation.engine import Event, Simulator
+from repro.simulation.resources import Condition
+from repro.storage.command import WrittenBlock
+from repro.storage.device import StorageDevice
+
+
+@dataclass
+class BlockDeviceConfig:
+    """Configuration of the block layer.
+
+    ``order_preserving`` selects the barrier-enabled stack: the epoch
+    scheduler is stacked on the chosen discipline and barrier writes are
+    dispatched as ``ordered`` commands.  With ``order_preserving=False`` the
+    configuration matches the legacy stack.
+    """
+
+    scheduler: str = "noop"
+    order_preserving: bool = True
+    max_merge_pages: int = 64
+    #: Host-side CPU cost charged per dispatched request (block layer work).
+    submit_overhead: float = 3.0
+    #: If set, a busy device is retried after this many microseconds (the
+    #: paper quotes ~3 ms for SCSI); if ``None`` the dispatcher waits for a
+    #: queue slot to free, which is what a completion-driven kernel does.
+    busy_retry_interval: Optional[float] = None
+    #: Keep per-request issue/dispatch logs (needed by the verification and
+    #: ordering experiments; long throughput runs may turn it off).
+    keep_logs: bool = True
+
+    @property
+    def dispatch_policy(self) -> DispatchPolicy:
+        """Dispatch policy implied by ``order_preserving``."""
+        if self.order_preserving:
+            return DispatchPolicy.ORDER_PRESERVING
+        return DispatchPolicy.LEGACY
+
+
+@dataclass
+class BlockDeviceStats:
+    """Counters exposed to the experiments."""
+
+    requests_submitted: int = 0
+    requests_dispatched: int = 0
+    barrier_requests: int = 0
+    flush_requests: int = 0
+    busy_waits: int = 0
+    pages_submitted: int = 0
+
+
+class BlockDevice:
+    """Block layer instance bound to one storage device."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: StorageDevice,
+        config: Optional[BlockDeviceConfig] = None,
+    ):
+        self.sim = sim
+        self.device = device
+        self.config = config or BlockDeviceConfig()
+        if self.config.order_preserving and not device.barrier_mode.supports_barrier:
+            raise ValueError(
+                "order-preserving block layer requires a barrier-capable device; "
+                f"{device.profile.name} is configured with mode {device.barrier_mode.value}"
+            )
+        self.scheduler: IOScheduler = make_scheduler(
+            self.config.scheduler,
+            epoch=self.config.order_preserving,
+            max_merge_pages=self.config.max_merge_pages,
+        )
+        self.stats = BlockDeviceStats()
+        self.issue_log: list[BlockRequest] = []
+        self.dispatch_log: list[BlockRequest] = []
+        self._issue_seq = itertools.count(1)
+        self._dispatch_seq = itertools.count(1)
+        self._issue_epoch = 0
+        self._work = Condition(sim, name="blkdev.work")
+        self._idle = Condition(sim, name="blkdev.idle")
+        self._outstanding = 0
+        sim.process(self._dispatcher_loop(), name="blkdev.dispatcher", daemon=True)
+
+    # ------------------------------------------------------------------ submission
+    @property
+    def order_preserving(self) -> bool:
+        """Whether the barrier-enabled path is active."""
+        return self.config.order_preserving
+
+    @property
+    def current_issue_epoch(self) -> int:
+        """Epoch number that newly submitted requests will belong to."""
+        return self._issue_epoch
+
+    def submit(self, request: BlockRequest) -> BlockRequest:
+        """Submit a request to the IO scheduler (returns immediately)."""
+        request.attach(self.sim)
+        request.issue_seq = next(self._issue_seq)
+        request.issue_time = self.sim.now
+        request.issue_epoch = self._issue_epoch
+        if request.is_barrier:
+            if self.config.order_preserving:
+                self._issue_epoch += 1
+            self.stats.barrier_requests += 1
+        if request.is_flush:
+            self.stats.flush_requests += 1
+        self.stats.requests_submitted += 1
+        self.stats.pages_submitted += request.num_pages
+        if self.config.keep_logs:
+            self.issue_log.append(request)
+        self._outstanding += 1
+        request.completed.add_callback(self._on_request_complete)
+        self.scheduler.add_request(request)
+        request.queued.succeed(request)
+        self._work.notify_all()
+        return request
+
+    def write(
+        self,
+        lba: int,
+        num_pages: int = 1,
+        *,
+        payload: Optional[Sequence[WrittenBlock]] = None,
+        flags: RequestFlag = RequestFlag.NONE,
+        issuer: str = "app",
+    ) -> BlockRequest:
+        """Build and submit a write request."""
+        request = BlockRequest(
+            op=RequestOp.WRITE,
+            lba=lba,
+            num_pages=num_pages,
+            flags=flags,
+            payload=tuple(payload) if payload is not None else tuple(),
+            issuer=issuer,
+        )
+        return self.submit(request)
+
+    def flush(self, *, issuer: str = "app") -> BlockRequest:
+        """Build and submit a cache-flush request."""
+        return self.submit(BlockRequest(op=RequestOp.FLUSH, issuer=issuer))
+
+    def write_and_wait(
+        self, lba: int, num_pages: int = 1, **kwargs: object
+    ) -> Generator[Event, object, BlockRequest]:
+        """Generator: submit a write and wait for its completion."""
+        request = self.write(lba, num_pages, **kwargs)  # type: ignore[arg-type]
+        yield request.completed
+        return request
+
+    def flush_and_wait(self, *, issuer: str = "app") -> Generator[Event, object, BlockRequest]:
+        """Generator: submit a flush and wait until the cache is durable."""
+        request = self.flush(issuer=issuer)
+        yield request.completed
+        return request
+
+    def drain(self) -> Generator[Event, object, None]:
+        """Generator: wait until every submitted request has completed."""
+        while self._outstanding > 0:
+            yield self._idle.wait()
+
+    def _on_request_complete(self, _event: Event) -> None:
+        self._outstanding -= 1
+        if self._outstanding <= 0:
+            self._idle.notify_all()
+
+    # ------------------------------------------------------------------ dispatcher
+    def _dispatcher_loop(self):
+        config = self.config
+        while True:
+            request = self.scheduler.next_request()
+            if request is None:
+                yield self._work.wait()
+                continue
+            if config.submit_overhead > 0:
+                yield self.sim.timeout(config.submit_overhead)
+            command = request_to_command(request, config.dispatch_policy)
+            while not self.device.try_submit(command):
+                self.stats.busy_waits += 1
+                if config.busy_retry_interval is not None:
+                    yield self.sim.timeout(config.busy_retry_interval)
+                else:
+                    yield self.device.slot_available()
+            request.dispatch_seq = next(self._dispatch_seq)
+            request.dispatch_time = self.sim.now
+            self.stats.requests_dispatched += 1
+            if config.keep_logs:
+                self.dispatch_log.append(request)
+            request.dispatched.succeed(request)
+            for merged in request.merged_requests:
+                if merged.dispatched is not None and not merged.dispatched.triggered:
+                    merged.dispatch_seq = request.dispatch_seq
+                    merged.dispatch_time = request.dispatch_time
+                    merged.dispatched.succeed(merged)
+            self._wire_completion(request, command)
+
+    def _wire_completion(self, request: BlockRequest, command) -> None:
+        def _on_transfer(_event: Event) -> None:
+            request.transferred.succeed(request)
+            for merged in request.merged_requests:
+                if merged.transferred is not None and not merged.transferred.triggered:
+                    merged.transferred.succeed(merged)
+
+        def _on_complete(_event: Event) -> None:
+            request.completed.succeed(request)
+            for merged in request.merged_requests:
+                if merged.completed is not None and not merged.completed.triggered:
+                    merged.completed.succeed(merged)
+
+        command.transferred.add_callback(_on_transfer)
+        command.completed.add_callback(_on_complete)
+
+    # ------------------------------------------------------------------ queries
+    @property
+    def queued_requests(self) -> int:
+        """Requests sitting in the IO scheduler right now."""
+        return len(self.scheduler)
+
+    @property
+    def epoch_scheduler(self) -> Optional[EpochIOScheduler]:
+        """The epoch scheduler, when the barrier-enabled path is active."""
+        if isinstance(self.scheduler, EpochIOScheduler):
+            return self.scheduler
+        return None

@@ -1,0 +1,69 @@
+"""Dispatch policies: legacy vs. order-preserving (Section 3.4).
+
+The dispatcher translates block requests into device commands.  The legacy
+policy issues every write as a ``simple`` command — the device may service
+them in any order, which is why the legacy stack has to fall back to
+Wait-on-Transfer when it cares about ordering.  The order-preserving policy
+issues barrier writes as ``ordered`` commands carrying the barrier flag, so
+the device itself preserves the transfer order (``D = C``) and the host can
+keep dispatching without waiting for DMA completion.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.block.request import BlockRequest, RequestOp
+from repro.storage.command import (
+    Command,
+    CommandFlag,
+    CommandKind,
+    CommandPriority,
+    flush_command,
+)
+
+
+class DispatchPolicy(enum.Enum):
+    """How block requests are translated into device commands."""
+
+    #: Stock block layer: no ordering attributes reach the device.
+    LEGACY = "legacy"
+    #: Barrier-enabled block layer: barrier writes become ``ordered`` commands.
+    ORDER_PRESERVING = "order-preserving"
+
+
+def request_to_command(request: BlockRequest, policy: DispatchPolicy) -> Command:
+    """Build the device command for ``request`` under ``policy``."""
+    if request.op is RequestOp.FLUSH:
+        command = flush_command(tag=request.request_id)
+        return command
+
+    if request.op is RequestOp.READ:
+        return Command(
+            kind=CommandKind.READ,
+            lba=request.lba,
+            num_pages=request.num_pages,
+            tag=request.request_id,
+        )
+
+    flags = CommandFlag.NONE
+    priority = CommandPriority.SIMPLE
+    if request.wants_fua:
+        flags |= CommandFlag.FUA
+    if request.wants_flush:
+        flags |= CommandFlag.FLUSH
+    if policy is DispatchPolicy.ORDER_PRESERVING and request.is_barrier:
+        # The barrier write is both flagged for the device cache (persist
+        # order) and given the ``ordered`` SCSI priority (transfer order).
+        flags |= CommandFlag.BARRIER
+        priority = CommandPriority.ORDERED
+
+    return Command(
+        kind=CommandKind.WRITE,
+        lba=request.lba,
+        num_pages=request.num_pages,
+        flags=flags,
+        priority=priority,
+        payload=tuple(request.payload),
+        tag=request.request_id,
+    )

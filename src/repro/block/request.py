@@ -1,0 +1,217 @@
+"""Block-layer requests and their ordering attributes.
+
+A :class:`BlockRequest` is what a filesystem (or a raw workload) submits to
+the :class:`~repro.block.block_device.BlockDevice`.  The paper adds two
+attributes to the classic set:
+
+* ``ORDERED`` marks a request *order-preserving*: it belongs to an epoch and
+  must not cross epoch boundaries.
+* ``BARRIER`` marks a request as the delimiter of its epoch.
+
+``FLUSH`` and ``FUA`` retain their legacy meaning (pre-flush the device
+cache / force the payload to media before completion); the legacy EXT4
+journal uses them for the commit block, BarrierFS does not need them.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.simulation.engine import Event, Simulator
+from repro.storage.command import WrittenBlock
+
+
+class RequestOp(enum.Enum):
+    """Block request operation."""
+
+    WRITE = "write"
+    READ = "read"
+    FLUSH = "flush"
+
+
+class RequestFlag(enum.Flag):
+    """REQ_* attributes carried by a block request."""
+
+    NONE = 0
+    #: REQ_ORDERED — the request is order-preserving (member of an epoch).
+    ORDERED = enum.auto()
+    #: REQ_BARRIER — the request delimits its epoch.
+    BARRIER = enum.auto()
+    #: REQ_FLUSH — flush the device writeback cache before this request.
+    FLUSH = enum.auto()
+    #: REQ_FUA — the payload must be durable before the request completes.
+    FUA = enum.auto()
+
+
+_request_ids = itertools.count(1)
+
+
+@dataclass(eq=False)
+class BlockRequest:
+    """One request travelling through the block layer."""
+
+    op: RequestOp
+    lba: int = 0
+    num_pages: int = 1
+    flags: RequestFlag = RequestFlag.NONE
+    payload: Sequence[WrittenBlock] = field(default_factory=tuple)
+    #: Identity of the submitting thread (used by CFQ and for tracing).
+    issuer: str = "unknown"
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+    # Assigned by the block device on submission.
+    issue_seq: Optional[int] = None
+    issue_epoch: Optional[int] = None
+    issue_time: Optional[float] = None
+
+    # Assigned by the dispatcher.
+    dispatch_seq: Optional[int] = None
+    dispatch_time: Optional[float] = None
+
+    # Milestone events (created by the block device).
+    queued: Optional[Event] = None
+    dispatched: Optional[Event] = None
+    transferred: Optional[Event] = None
+    completed: Optional[Event] = None
+
+    #: Requests that were merged into this one by the IO scheduler.
+    merged_requests: list["BlockRequest"] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.op is RequestOp.WRITE and not self.payload:
+            self.payload = tuple(
+                WrittenBlock(block=("blk", self.request_id, index))
+                for index in range(self.num_pages)
+            )
+        if self.op is RequestOp.FLUSH:
+            self.num_pages = 0
+
+    # -- attribute predicates ------------------------------------------------
+    @property
+    def is_write(self) -> bool:
+        """Whether the request writes data."""
+        return self.op is RequestOp.WRITE
+
+    @property
+    def is_flush(self) -> bool:
+        """Whether the request is a standalone cache flush."""
+        return self.op is RequestOp.FLUSH
+
+    @property
+    def is_ordered(self) -> bool:
+        """Whether the request is order-preserving (REQ_ORDERED)."""
+        return bool(self.flags & RequestFlag.ORDERED)
+
+    @property
+    def is_barrier(self) -> bool:
+        """Whether the request delimits an epoch (REQ_BARRIER)."""
+        return bool(self.flags & RequestFlag.BARRIER)
+
+    @property
+    def is_orderless(self) -> bool:
+        """Whether the request carries no ordering constraint."""
+        return not self.is_ordered and not self.is_barrier
+
+    @property
+    def wants_fua(self) -> bool:
+        """Whether the request requires FUA durability."""
+        return bool(self.flags & RequestFlag.FUA)
+
+    @property
+    def wants_flush(self) -> bool:
+        """Whether the request asks for a pre-flush."""
+        return bool(self.flags & RequestFlag.FLUSH)
+
+    # -- flag manipulation (used by the epoch scheduler) ----------------------
+    def strip_barrier(self) -> None:
+        """Remove the BARRIER attribute (barrier reassignment, step one)."""
+        self.flags &= ~RequestFlag.BARRIER
+
+    def set_barrier(self) -> None:
+        """Add the BARRIER attribute (barrier reassignment, step two)."""
+        self.flags |= RequestFlag.BARRIER | RequestFlag.ORDERED
+
+    def attach(self, sim: Simulator) -> "BlockRequest":
+        """Create the milestone events (called by the block device)."""
+        if self.queued is None:
+            self.queued = sim.event(name=f"req{self.request_id}.queued")
+            self.dispatched = sim.event(name=f"req{self.request_id}.dispatched")
+            self.transferred = sim.event(name=f"req{self.request_id}.transferred")
+            self.completed = sim.event(name=f"req{self.request_id}.completed")
+        return self
+
+    # -- merging ---------------------------------------------------------------
+    @property
+    def end_lba(self) -> int:
+        """First LBA after this request."""
+        return self.lba + self.num_pages
+
+    def can_merge_with(self, other: "BlockRequest", max_pages: int) -> bool:
+        """Whether ``other`` can be back-merged into this request."""
+        if not (self.is_write and other.is_write):
+            return False
+        if self.wants_fua or other.wants_fua or self.wants_flush or other.wants_flush:
+            return False
+        if self.is_barrier or other.is_barrier:
+            return False
+        if self.num_pages + other.num_pages > max_pages:
+            return False
+        return self.end_lba == other.lba
+
+    def merge(self, other: "BlockRequest") -> None:
+        """Absorb ``other`` (contiguous, already checked by the scheduler)."""
+        self.payload = tuple(self.payload) + tuple(other.payload)
+        self.num_pages += other.num_pages
+        # A merged request is order-preserving if any constituent is.
+        if other.is_ordered:
+            self.flags |= RequestFlag.ORDERED
+        self.merged_requests.append(other)
+
+    def describe(self) -> str:
+        """One-line description for traces and error messages."""
+        names = []
+        for flag, label in (
+            (RequestFlag.ORDERED, "ORDERED"),
+            (RequestFlag.BARRIER, "BARRIER"),
+            (RequestFlag.FLUSH, "FLUSH"),
+            (RequestFlag.FUA, "FUA"),
+        ):
+            if self.flags & flag:
+                names.append(label)
+        flag_text = "|".join(names) if names else "-"
+        return (
+            f"req#{self.request_id} {self.op.value} lba={self.lba} "
+            f"pages={self.num_pages} flags={flag_text} by={self.issuer}"
+        )
+
+
+def write_request(
+    lba: int,
+    num_pages: int = 1,
+    *,
+    payload: Optional[Sequence[WrittenBlock]] = None,
+    flags: RequestFlag = RequestFlag.NONE,
+    issuer: str = "app",
+) -> BlockRequest:
+    """Convenience constructor for a write request."""
+    return BlockRequest(
+        op=RequestOp.WRITE,
+        lba=lba,
+        num_pages=num_pages,
+        flags=flags,
+        payload=tuple(payload) if payload is not None else tuple(),
+        issuer=issuer,
+    )
+
+
+def flush_request(*, issuer: str = "app") -> BlockRequest:
+    """Convenience constructor for a flush request."""
+    return BlockRequest(op=RequestOp.FLUSH, issuer=issuer)
+
+
+def read_request(lba: int, num_pages: int = 1, *, issuer: str = "app") -> BlockRequest:
+    """Convenience constructor for a read request."""
+    return BlockRequest(op=RequestOp.READ, lba=lba, num_pages=num_pages, issuer=issuer)

@@ -1,0 +1,48 @@
+"""Scheduler interface shared by all IO schedulers."""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.block.request import BlockRequest
+
+
+class IOScheduler(abc.ABC):
+    """Interface between the block device queue and a scheduling discipline.
+
+    A scheduler accepts requests with :meth:`add_request` and hands them out
+    with :meth:`next_request`.  Schedulers may merge contiguous write
+    requests (bounded by ``max_merge_pages``); merged requests report the
+    requests they absorbed via ``BlockRequest.merged_requests`` so that the
+    block device can complete them together.
+    """
+
+    def __init__(self, *, max_merge_pages: int = 64):
+        if max_merge_pages < 1:
+            raise ValueError("max_merge_pages must be at least 1")
+        self.max_merge_pages = max_merge_pages
+        self.requests_added = 0
+        self.requests_merged = 0
+
+    @abc.abstractmethod
+    def add_request(self, request: BlockRequest) -> None:
+        """Queue a request (possibly merging it into an existing one)."""
+
+    @abc.abstractmethod
+    def next_request(self) -> Optional[BlockRequest]:
+        """Remove and return the next request to dispatch, or ``None``."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of requests currently queued."""
+
+    @property
+    def has_pending(self) -> bool:
+        """Whether any request is waiting to be dispatched."""
+        return len(self) > 0
+
+    def _account_add(self, merged: bool) -> None:
+        self.requests_added += 1
+        if merged:
+            self.requests_merged += 1

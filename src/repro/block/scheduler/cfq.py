@@ -1,0 +1,83 @@
+"""CFQ-style scheduler.
+
+A simplified Completely Fair Queueing model: each issuer (process/thread
+name) owns its own FIFO queue and the scheduler serves the queues round
+robin, a small quantum of requests at a time.  The paper implements its
+epoch scheduler on top of CFQ; in the reproduction the epoch layer can wrap
+either this or the NOOP/DEADLINE schedulers.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Optional
+
+from repro.block.request import BlockRequest
+from repro.block.scheduler.base import IOScheduler
+
+
+class CFQScheduler(IOScheduler):
+    """Round-robin per-issuer queues with contiguous back-merging."""
+
+    def __init__(self, *, max_merge_pages: int = 64, quantum: int = 4):
+        super().__init__(max_merge_pages=max_merge_pages)
+        if quantum < 1:
+            raise ValueError("quantum must be >= 1")
+        self.quantum = quantum
+        self._queues: "OrderedDict[str, Deque[BlockRequest]]" = OrderedDict()
+        self._active_issuer: Optional[str] = None
+        self._served_in_quantum = 0
+        self._size = 0
+
+    def add_request(self, request: BlockRequest) -> None:
+        """Append to the issuer's queue, merging with its tail if possible."""
+        queue = self._queues.setdefault(request.issuer, deque())
+        if queue:
+            tail = queue[-1]
+            if tail.can_merge_with(request, self.max_merge_pages):
+                tail.merge(request)
+                self._account_add(merged=True)
+                return
+        queue.append(request)
+        self._size += 1
+        self._account_add(merged=False)
+
+    def next_request(self) -> Optional[BlockRequest]:
+        """Serve the active issuer up to ``quantum`` requests, then rotate."""
+        if self._size == 0:
+            return None
+        issuer = self._pick_issuer()
+        if issuer is None:
+            return None
+        queue = self._queues[issuer]
+        request = queue.popleft()
+        self._size -= 1
+        self._served_in_quantum += 1
+        if not queue:
+            del self._queues[issuer]
+            self._active_issuer = None
+            self._served_in_quantum = 0
+        elif self._served_in_quantum >= self.quantum:
+            # Rotate the issuer to the back of the service order.
+            self._queues.move_to_end(issuer)
+            self._active_issuer = None
+            self._served_in_quantum = 0
+        return request
+
+    def _pick_issuer(self) -> Optional[str]:
+        if self._active_issuer is not None and self._active_issuer in self._queues:
+            return self._active_issuer
+        for issuer, queue in self._queues.items():
+            if queue:
+                self._active_issuer = issuer
+                self._served_in_quantum = 0
+                return issuer
+        return None
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def issuers(self) -> list[str]:
+        """Issuers that currently have queued requests."""
+        return [issuer for issuer, queue in self._queues.items() if queue]

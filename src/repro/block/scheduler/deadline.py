@@ -1,0 +1,69 @@
+"""DEADLINE-style scheduler.
+
+A simplified model of the Linux deadline scheduler: requests are kept sorted
+by LBA (to approximate seek-friendly dispatch), but every request also has a
+FIFO deadline; when the oldest request has waited longer than its deadline
+the scheduler services it next regardless of LBA order.  Writes and reads
+share one sorted list here because the simulated workloads are almost
+entirely writes.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from typing import Deque, Optional
+
+from repro.block.request import BlockRequest
+from repro.block.scheduler.base import IOScheduler
+
+
+class DeadlineScheduler(IOScheduler):
+    """LBA-sorted dispatch with a FIFO deadline escape hatch."""
+
+    def __init__(self, *, max_merge_pages: int = 64, deadline_requests: int = 16):
+        super().__init__(max_merge_pages=max_merge_pages)
+        if deadline_requests < 1:
+            raise ValueError("deadline_requests must be >= 1")
+        #: After this many dispatches the oldest queued request is forced out.
+        self.deadline_requests = deadline_requests
+        self._sorted_lbas: list[int] = []
+        self._sorted: list[BlockRequest] = []
+        self._fifo: Deque[BlockRequest] = deque()
+        self._dispatch_count = 0
+
+    def add_request(self, request: BlockRequest) -> None:
+        """Insert in LBA order, merging with an adjacent request if possible."""
+        index = bisect.bisect_left(self._sorted_lbas, request.lba)
+        predecessor = self._sorted[index - 1] if index > 0 else None
+        if predecessor is not None and predecessor.can_merge_with(request, self.max_merge_pages):
+            predecessor.merge(request)
+            self._account_add(merged=True)
+            return
+        self._sorted_lbas.insert(index, request.lba)
+        self._sorted.insert(index, request)
+        self._fifo.append(request)
+        self._account_add(merged=False)
+
+    def next_request(self) -> Optional[BlockRequest]:
+        """Dispatch in LBA order, honouring the FIFO deadline periodically."""
+        if not self._sorted:
+            return None
+        self._dispatch_count += 1
+        if self._dispatch_count % self.deadline_requests == 0:
+            request = self._pop_fifo_head()
+        else:
+            request = self._sorted.pop(0)
+            self._sorted_lbas.pop(0)
+            self._fifo.remove(request)
+        return request
+
+    def _pop_fifo_head(self) -> BlockRequest:
+        request = self._fifo.popleft()
+        index = self._sorted.index(request)
+        self._sorted.pop(index)
+        self._sorted_lbas.pop(index)
+        return request
+
+    def __len__(self) -> int:
+        return len(self._sorted)

@@ -1,0 +1,105 @@
+"""Epoch-based IO scheduler with barrier reassignment (Section 3.3).
+
+The scheduler wraps an ordinary scheduling discipline (NOOP/DEADLINE/CFQ)
+and adds the three rules of the paper:
+
+1. the partial order *between* epochs is preserved;
+2. requests *within* an epoch (and orderless requests) may be freely
+   scheduled against each other by the underlying discipline;
+3. *epoch-based barrier reassignment*: when a barrier write arrives its
+   BARRIER attribute is stripped and the queue stops accepting new requests;
+   the order-preserving request that leaves the queue **last** becomes the
+   new barrier, after which the queue is unblocked and any requests that
+   arrived in the meantime are admitted (a staged barrier immediately starts
+   the next epoch).
+
+Because merging may fold several order-preserving requests into one, the
+scheduler tracks the identities of the order-preserving requests currently
+inside the underlying queue and only reassigns the barrier when the last of
+them leaves.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.block.request import BlockRequest
+from repro.block.scheduler.base import IOScheduler
+
+
+class EpochIOScheduler(IOScheduler):
+    """The paper's order-preserving scheduler layered over a legacy one."""
+
+    def __init__(self, underlying: IOScheduler):
+        super().__init__(max_merge_pages=underlying.max_merge_pages)
+        self.underlying = underlying
+        self._staged: Deque[BlockRequest] = deque()
+        self._blocked = False
+        self._ordered_ids: set[int] = set()
+        #: Number of epochs whose barrier has been dispatched.
+        self.epochs_dispatched = 0
+        #: Number of times the barrier attribute moved to a different request.
+        self.barriers_reassigned = 0
+
+    # -- admission -------------------------------------------------------------
+    def add_request(self, request: BlockRequest) -> None:
+        """Admit a request, staging it if the queue is blocked by an epoch."""
+        if self._blocked:
+            self._staged.append(request)
+            self._account_add(merged=False)
+            return
+        self._insert(request)
+        self._account_add(merged=False)
+
+    def _insert(self, request: BlockRequest) -> None:
+        is_barrier = request.is_barrier
+        if is_barrier:
+            # Step one of barrier reassignment: the attribute is removed and
+            # the queue is closed until the epoch has fully left the queue.
+            request.strip_barrier()
+            self._blocked = True
+        if request.is_ordered:
+            self._ordered_ids.add(request.request_id)
+        self.underlying.add_request(request)
+
+    # -- dispatch ----------------------------------------------------------------
+    def next_request(self) -> Optional[BlockRequest]:
+        """Dispatch per the underlying discipline, reassigning the barrier."""
+        request = self.underlying.next_request()
+        if request is None:
+            return None
+        self._forget_ordered(request)
+        if self._blocked and not self._ordered_ids:
+            # ``request`` is the last order-preserving request of the epoch:
+            # it leaves the queue carrying the barrier.
+            if not request.is_barrier:
+                self.barriers_reassigned += 1
+            request.set_barrier()
+            self.epochs_dispatched += 1
+            self._blocked = False
+            self._drain_staged()
+        return request
+
+    def _forget_ordered(self, request: BlockRequest) -> None:
+        self._ordered_ids.discard(request.request_id)
+        for merged in request.merged_requests:
+            self._ordered_ids.discard(merged.request_id)
+
+    def _drain_staged(self) -> None:
+        while self._staged and not self._blocked:
+            self._insert(self._staged.popleft())
+
+    # -- bookkeeping ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.underlying) + len(self._staged)
+
+    @property
+    def is_blocked(self) -> bool:
+        """Whether the queue is currently closed, waiting for an epoch to drain."""
+        return self._blocked
+
+    @property
+    def staged_count(self) -> int:
+        """Requests waiting outside the blocked queue."""
+        return len(self._staged)

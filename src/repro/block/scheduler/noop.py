@@ -1,0 +1,43 @@
+"""NOOP scheduler: FIFO dispatch with back-merging.
+
+This is the discipline the paper assumes for NVMe-style devices where the
+hardware queue does the real scheduling; it is also the underlying scheduler
+the epoch layer uses in most experiments because it adds no reordering of its
+own (the device command queue provides the "orderless" behaviour already).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.block.request import BlockRequest
+from repro.block.scheduler.base import IOScheduler
+
+
+class NoopScheduler(IOScheduler):
+    """First-in first-out scheduler with contiguous back-merging."""
+
+    def __init__(self, *, max_merge_pages: int = 64):
+        super().__init__(max_merge_pages=max_merge_pages)
+        self._queue: Deque[BlockRequest] = deque()
+
+    def add_request(self, request: BlockRequest) -> None:
+        """Append the request, merging into the tail if contiguous."""
+        if self._queue:
+            tail = self._queue[-1]
+            if tail.can_merge_with(request, self.max_merge_pages):
+                tail.merge(request)
+                self._account_add(merged=True)
+                return
+        self._queue.append(request)
+        self._account_add(merged=False)
+
+    def next_request(self) -> Optional[BlockRequest]:
+        """Pop the oldest request."""
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)

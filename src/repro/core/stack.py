@@ -1,0 +1,186 @@
+"""Assemble complete IO stacks.
+
+:func:`build_stack` wires a simulator, a storage device, a block layer and a
+filesystem together according to a :class:`StackConfig`.  The named
+configurations of the paper's evaluation are available through
+:func:`standard_config`:
+
+====================  =====================================================
+name                  meaning
+====================  =====================================================
+``EXT4-DR``           stock EXT4, durability guarantee (FLUSH/FUA)
+``EXT4-OD``           EXT4 mounted ``nobarrier`` (ordering only, no flush)
+``BFS-DR``            BarrierFS with ``fsync`` (durability guarantee)
+``BFS-OD``            BarrierFS with ``fbarrier`` (ordering guarantee)
+``OptFS``             OptFS with ``osync``
+====================  =====================================================
+
+``*-OD`` and ``OptFS`` differ from their ``*-DR`` counterparts only in which
+system call the *workload* issues; the stack itself is identical, so
+:func:`standard_config` records the intended sync call in
+``StackConfig.sync_call`` for the workloads to pick up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.block.block_device import BlockDevice, BlockDeviceConfig
+from repro.fs.barrierfs import BarrierFS
+from repro.fs.ext4 import Ext4Filesystem
+from repro.fs.mount import JournalMode, MountOptions
+from repro.fs.optfs import OptFS
+from repro.fs.vfs import FilesystemBase
+from repro.simulation.engine import Simulator
+from repro.storage.barrier_modes import BarrierMode, default_barrier_mode
+from repro.storage.device import StorageDevice
+from repro.storage.profiles import DeviceProfile, get_profile
+
+
+@dataclass(frozen=True)
+class StackConfig:
+    """Declarative description of one simulated IO stack."""
+
+    device: str = "plain-ssd"
+    filesystem: str = "ext4"
+    #: Whether the block layer runs the epoch scheduler + order-preserving
+    #: dispatch.  Defaults to True for BarrierFS and False otherwise.
+    barrier_enabled: Optional[bool] = None
+    #: EXT4 ``nobarrier`` mount option (no FLUSH/FUA on journal commits).
+    no_barrier: bool = False
+    #: Underlying scheduling discipline.
+    scheduler: str = "noop"
+    #: Storage-controller barrier implementation; defaults to the paper's
+    #: choice for the device (PLP for supercap, in-order recovery otherwise)
+    #: when the barrier path is enabled, and to the legacy behaviour when not.
+    barrier_mode: Optional[BarrierMode] = None
+    journal_mode: JournalMode = JournalMode.ORDERED
+    seed: int = 0
+    track_queue_depth: bool = False
+    #: The sync call the workload should use ("fsync", "fdatasync",
+    #: "fbarrier", "fdatabarrier", "osync"); informational, set by
+    #: :func:`standard_config`.
+    sync_call: str = "fsync"
+    mount_overrides: dict = field(default_factory=dict)
+    block_overrides: dict = field(default_factory=dict)
+
+    def with_device(self, device: str) -> "StackConfig":
+        """Copy of the config targeting a different device."""
+        return replace(self, device=device)
+
+
+@dataclass
+class IOStack:
+    """A fully assembled simulated IO stack."""
+
+    config: StackConfig
+    profile: DeviceProfile
+    sim: Simulator
+    device: StorageDevice
+    block: BlockDevice
+    fs: FilesystemBase
+
+    @property
+    def label(self) -> str:
+        """Short label used in experiment reports."""
+        return f"{self.fs.name}/{self.profile.name}"
+
+    def run_process(self, generator, *, limit: float = 600_000_000):
+        """Run ``generator`` as a process until it completes; return its value."""
+        process = self.sim.process(generator)
+        return self.sim.run_until_complete(process, limit=limit)
+
+    def sync_of(self, file, *, issuer: str = "app"):
+        """The sync-family generator selected by ``config.sync_call``."""
+        call = getattr(self.fs, self.config.sync_call)
+        return call(file, issuer=issuer)
+
+
+_FILESYSTEMS = {
+    "ext4": Ext4Filesystem,
+    "barrierfs": BarrierFS,
+    "optfs": OptFS,
+}
+
+
+def build_stack(config: StackConfig) -> IOStack:
+    """Build a simulator + device + block layer + filesystem from ``config``."""
+    try:
+        fs_class = _FILESYSTEMS[config.filesystem]
+    except KeyError:
+        raise KeyError(
+            f"unknown filesystem {config.filesystem!r}; choose from {sorted(_FILESYSTEMS)}"
+        ) from None
+
+    profile = get_profile(config.device)
+    barrier_enabled = (
+        config.barrier_enabled
+        if config.barrier_enabled is not None
+        else fs_class is BarrierFS
+    )
+    if fs_class is BarrierFS and not barrier_enabled:
+        raise ValueError("BarrierFS requires barrier_enabled=True")
+
+    if config.barrier_mode is not None:
+        barrier_mode = config.barrier_mode
+    elif barrier_enabled:
+        barrier_mode = default_barrier_mode(profile)
+    elif profile.has_plp:
+        # Power-loss protection is a hardware property: it applies to the
+        # legacy stack as well.
+        barrier_mode = BarrierMode.PLP
+    else:
+        barrier_mode = BarrierMode.NONE
+
+    sim = Simulator(context_switch_cost=profile.context_switch_cost)
+    device = StorageDevice(
+        sim,
+        profile,
+        barrier_mode=barrier_mode,
+        seed=config.seed,
+        track_queue_depth=config.track_queue_depth,
+    )
+    block_config = BlockDeviceConfig(
+        scheduler=config.scheduler,
+        order_preserving=barrier_enabled,
+        **config.block_overrides,
+    )
+    block = BlockDevice(sim, device, block_config)
+    mount = MountOptions(
+        journal_mode=config.journal_mode,
+        no_barrier=config.no_barrier,
+        **config.mount_overrides,
+    )
+    fs = fs_class(sim, block, mount)
+    return IOStack(
+        config=config, profile=profile, sim=sim, device=device, block=block, fs=fs
+    )
+
+
+#: Named configurations used throughout the evaluation section.
+_STANDARD = {
+    "EXT4-DR": dict(filesystem="ext4", no_barrier=False, sync_call="fsync"),
+    "EXT4-OD": dict(filesystem="ext4", no_barrier=True, sync_call="fsync"),
+    "BFS-DR": dict(filesystem="barrierfs", sync_call="fsync"),
+    "BFS-OD": dict(filesystem="barrierfs", sync_call="fbarrier"),
+    "OptFS": dict(filesystem="optfs", sync_call="osync"),
+}
+
+
+def standard_config(name: str, device: str = "plain-ssd", **overrides) -> StackConfig:
+    """The paper's named stack configurations (EXT4-DR, BFS-OD, ...)."""
+    try:
+        base = _STANDARD[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown configuration {name!r}; choose from {sorted(_STANDARD)}"
+        ) from None
+    params = dict(base)
+    params.update(overrides)
+    return StackConfig(device=device, **params)
+
+
+def standard_configurations() -> list[str]:
+    """Names of the standard configurations."""
+    return sorted(_STANDARD)

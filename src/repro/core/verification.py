@@ -1,0 +1,140 @@
+"""Correctness checks for the barrier-enabled IO stack.
+
+Three families of invariants are verified (they back both the unit/property
+tests and the crash-consistency example):
+
+* **Epoch-prefix durability** — after a crash on a barrier-honouring device,
+  if any page of epoch *k* survived then every page of every epoch < *k*
+  survived (:func:`verify_epoch_prefix`).
+* **Scheduler/dispatch order** — the dispatch order never lets a request of
+  a later epoch overtake an earlier epoch
+  (:func:`verify_dispatch_preserves_epochs`).
+* **Journal recovery** — the transactions recoverable from the durable
+  journal blocks form a prefix of the commit order, and in ordered mode the
+  data each recovered transaction references is itself durable
+  (:func:`verify_journal_recovery`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.block.request import BlockRequest
+from repro.fs.journal.transaction import JournalTransaction
+from repro.storage.crash import CrashState
+
+
+class VerificationError(AssertionError):
+    """Raised when a run violates one of the paper's ordering guarantees."""
+
+
+def verify_epoch_prefix(state: CrashState) -> None:
+    """Check epoch-prefix durability of a crash state.
+
+    Applicable to devices whose barrier mode orders persistence; for a
+    legacy (``NONE``) device the property is expected to fail and callers
+    should not invoke this check.
+    """
+    durable_epochs = {entry.epoch for entry in state.durable}
+    if not durable_epochs:
+        return
+    max_durable_epoch = max(durable_epochs)
+    missing = [
+        entry
+        for entry in state.transferred
+        if entry.epoch < max_durable_epoch and not any(
+            durable.transfer_seq == entry.transfer_seq for durable in state.durable
+        )
+    ]
+    if missing:
+        raise VerificationError(
+            f"epoch-prefix violated: epoch {max_durable_epoch} has durable pages "
+            f"but {len(missing)} earlier-epoch pages were lost "
+            f"(example: {missing[0].block} in epoch {missing[0].epoch})"
+        )
+
+
+def epoch_prefix_holds(state: CrashState) -> bool:
+    """Boolean form of :func:`verify_epoch_prefix`."""
+    try:
+        verify_epoch_prefix(state)
+    except VerificationError:
+        return False
+    return True
+
+
+def verify_dispatch_preserves_epochs(dispatch_log: Sequence[BlockRequest]) -> None:
+    """Check ``I = D`` at epoch granularity.
+
+    In the barrier-enabled block layer requests may be reordered only within
+    an epoch; the epoch numbers observed along the dispatch order must
+    therefore be non-decreasing.
+    """
+    last_epoch = -1
+    for request in dispatch_log:
+        epoch = request.issue_epoch
+        if epoch is None:
+            continue
+        if epoch < last_epoch:
+            raise VerificationError(
+                f"dispatch order violates epochs: {request.describe()} of epoch "
+                f"{epoch} dispatched after epoch {last_epoch}"
+            )
+        last_epoch = max(last_epoch, epoch)
+
+
+def recovered_transactions(
+    state: CrashState, transactions: Iterable[JournalTransaction]
+) -> list[JournalTransaction]:
+    """Transactions whose commit record and every log block survived."""
+    durable = state.durable_blocks
+    recovered = []
+    for txn in transactions:
+        needed = [("jc", txn.txid), ("jd", txn.txid)]
+        needed.extend(("log", txn.txid, name) for name in txn.metadata_buffers)
+        needed.extend(("logdata", txn.txid, name) for name in txn.journaled_data)
+        if all(block in durable for block in needed):
+            recovered.append(txn)
+    return sorted(recovered, key=lambda txn: txn.txid)
+
+
+def verify_journal_recovery(
+    state: CrashState,
+    transactions: Sequence[JournalTransaction],
+    *,
+    ordered_mode: bool = True,
+    require_commit_prefix: bool = True,
+) -> list[JournalTransaction]:
+    """Check the filesystem-journal invariants and return the recovered set.
+
+    * the recovered transactions form a prefix of the commit (txid) order;
+    * in ordered mode, every data page a recovered transaction references is
+      durable with at least the referenced version.
+    """
+    ordered_txns = sorted(transactions, key=lambda txn: txn.txid)
+    recovered = recovered_transactions(state, ordered_txns)
+    recovered_ids = {txn.txid for txn in recovered}
+
+    if require_commit_prefix and recovered:
+        newest = max(recovered_ids)
+        committed_before = [
+            txn for txn in ordered_txns
+            if txn.txid < newest and txn.commit_requested_at is not None
+        ]
+        for txn in committed_before:
+            if txn.txid not in recovered_ids:
+                raise VerificationError(
+                    f"journal recovery violates commit order: transaction "
+                    f"{newest} is recoverable but earlier transaction {txn.txid} is not"
+                )
+
+    if ordered_mode:
+        durable = state.durable_blocks
+        for txn in recovered:
+            for name, version in txn.ordered_data.items():
+                if durable.get(name, -1) < version:
+                    raise VerificationError(
+                        f"ordered-mode violation: transaction {txn.txid} is "
+                        f"recoverable but its data block {name} (v{version}) is not durable"
+                    )
+    return recovered

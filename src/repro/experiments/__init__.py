@@ -1,0 +1,37 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation.
+
+Every module exposes ``run(scale=1.0) -> ExperimentResult``; ``scale``
+multiplies the iteration counts so the same code serves both the quick
+benchmark suite and longer, more faithful runs.  ``repro.experiments.runner``
+runs everything and prints the tables recorded in ``EXPERIMENTS.md``.
+"""
+
+from repro.experiments import (
+    fig1_ordered_vs_buffered,
+    fig8_commit_interval,
+    fig9_random_write,
+    fig10_queue_depth,
+    fig11_context_switches,
+    fig12_barrierfs_queue_depth,
+    fig13_fxmark,
+    fig14_sqlite,
+    fig15_server_workloads,
+    table1_fsync_latency,
+)
+from repro.experiments.runner import ALL_EXPERIMENTS, run_all, run_experiment
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "fig1_ordered_vs_buffered",
+    "fig8_commit_interval",
+    "fig9_random_write",
+    "fig10_queue_depth",
+    "fig11_context_switches",
+    "fig12_barrierfs_queue_depth",
+    "fig13_fxmark",
+    "fig14_sqlite",
+    "fig15_server_workloads",
+    "run_all",
+    "run_experiment",
+    "table1_fsync_latency",
+]

@@ -1,0 +1,41 @@
+"""Fig. 11 — application context switches per fsync()/fbarrier().
+
+The paper counts how many times the calling thread is scheduled out per
+synchronisation call: EXT4 wakes the caller twice per fsync (after the data
+DMA and after the journal commit), BarrierFS only once, and fbarrier —
+which usually degenerates to fdatabarrier — almost never blocks.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.measure import measure_context_switches
+from repro.analysis.reporting import ExperimentResult
+from repro.core.stack import build_stack, standard_config
+
+DEVICES = ("ufs", "plain-ssd", "supercap-ssd")
+#: (label, stack configuration, sync call, allocating writes?)
+MODES = (
+    ("EXT4-DR", "EXT4-DR", "fsync", True),
+    ("BFS-DR", "BFS-DR", "fsync", True),
+    ("EXT4-OD", "EXT4-OD", "fsync", True),
+    ("BFS-OD", "BFS-OD", "fbarrier", False),
+)
+
+
+def run(scale: float = 1.0, *, devices: tuple[str, ...] = DEVICES) -> ExperimentResult:
+    """Run the Fig. 11 context-switch measurement and return its table."""
+    result = ExperimentResult(
+        name="Fig. 11 — context switches per sync call",
+        description="average number of times the calling thread blocks per call",
+        columns=("device", "mode", "sync_call", "context_switches"),
+    )
+    calls = max(40, int(150 * scale))
+    for device in devices:
+        for label, config_name, sync_call, allocating in MODES:
+            stack = build_stack(standard_config(config_name, device))
+            switches = measure_context_switches(
+                stack, calls=calls, sync_call=sync_call, allocating=allocating
+            )
+            result.add_row(device, label, sync_call, switches)
+    result.notes = "paper: ~2.0 for EXT4-DR, ~1.0-1.3 for BFS-DR, ~0.1-0.2 for BFS-OD"
+    return result

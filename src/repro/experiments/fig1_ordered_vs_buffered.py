@@ -1,0 +1,47 @@
+"""Fig. 1 — ordered write() vs. orderless (buffered) write() across devices.
+
+For each of the paper's seven flash devices (A–G) plus the HDD baseline the
+experiment measures write()+fdatasync() throughput (transfer-and-flush per
+write) against plain buffered write() throughput and reports the ratio.  The
+paper's observation to reproduce: the ratio collapses as the device's
+internal parallelism grows (from ~20 % on a single-channel mobile device to
+~1 % on a 32-channel flash array), and power-loss protection (device E) does
+not remove the gap.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import ExperimentResult
+from repro.experiments.blocklevel import ordered_vs_buffered_ratio
+from repro.storage.profiles import FIG1_DEVICES
+
+#: Device labels in the order the paper lists them.
+DEVICE_LABELS = ("A", "B", "C", "D", "E", "F", "G", "HDD")
+
+
+def run(scale: float = 1.0, *, devices: tuple[str, ...] = DEVICE_LABELS) -> ExperimentResult:
+    """Run the Fig. 1 sweep and return its table."""
+    result = ExperimentResult(
+        name="Fig. 1 — Ordered vs. buffered write()",
+        description=(
+            "write()+fdatasync() IOPS vs. plain buffered write() IOPS; the "
+            "ratio falls as device parallelism grows"
+        ),
+        columns=("device", "profile", "parallelism", "ordered_iops",
+                 "buffered_iops", "ordered/buffered_%"),
+    )
+    num_writes = max(40, int(240 * scale))
+    for label in devices:
+        profile = FIG1_DEVICES[label]
+        ordered_iops, buffered_iops, ratio = ordered_vs_buffered_ratio(
+            label, num_writes=num_writes
+        )
+        result.add_row(
+            label, profile.name, profile.parallelism,
+            ordered_iops, buffered_iops, ratio,
+        )
+    result.notes = (
+        "paper: ~20% on mobile eMMC down to ~1% on the 32-channel array; "
+        "supercap (E) does not close the gap"
+    )
+    return result

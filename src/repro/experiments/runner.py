@@ -1,0 +1,66 @@
+"""Run every experiment and print the tables (see EXPERIMENTS.md)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.analysis.reporting import ExperimentResult
+from repro.experiments import (
+    ablation_barrier_modes,
+    fig1_ordered_vs_buffered,
+    fig8_commit_interval,
+    fig9_random_write,
+    fig10_queue_depth,
+    fig11_context_switches,
+    fig12_barrierfs_queue_depth,
+    fig13_fxmark,
+    fig14_sqlite,
+    fig15_server_workloads,
+    table1_fsync_latency,
+)
+
+#: Experiment id -> run() callable.
+ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "fig1": fig1_ordered_vs_buffered.run,
+    "fig8": fig8_commit_interval.run,
+    "fig9": fig9_random_write.run,
+    "fig10": fig10_queue_depth.run,
+    "table1": table1_fsync_latency.run,
+    "fig11": fig11_context_switches.run,
+    "fig12": fig12_barrierfs_queue_depth.run,
+    "fig13": fig13_fxmark.run,
+    "fig14": fig14_sqlite.run,
+    "fig15": fig15_server_workloads.run,
+    "ablation-barrier-modes": ablation_barrier_modes.run,
+}
+
+
+def run_experiment(name: str, scale: float = 1.0) -> ExperimentResult:
+    """Run one experiment by id (``fig1`` ... ``fig15``, ``table1``)."""
+    try:
+        experiment = ALL_EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; choose from {sorted(ALL_EXPERIMENTS)}"
+        ) from None
+    return experiment(scale)
+
+
+def run_all(scale: float = 1.0, *, names: list[str] | None = None) -> list[ExperimentResult]:
+    """Run every experiment (or the named subset) and return the tables."""
+    selected = names if names is not None else list(ALL_EXPERIMENTS)
+    return [run_experiment(name, scale) for name in selected]
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    """Command-line entry point: ``python -m repro.experiments.runner [scale]``."""
+    import sys
+
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+    for result in run_all(scale):
+        print(result)
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

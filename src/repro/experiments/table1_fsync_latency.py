@@ -1,0 +1,42 @@
+"""Table 1 — fsync() latency statistics, EXT4 vs. BarrierFS.
+
+4 KiB allocating write followed by fsync(), repeated; the table reports the
+mean, median and tail percentiles of the fsync() latency on the three
+evaluation devices.  Paper shape: BarrierFS cuts the average by ~40 % on the
+SSDs (more on UFS) and cuts the 99.99th-percentile tail as well.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.measure import measure_sync_latency
+from repro.analysis.reporting import ExperimentResult
+from repro.core.stack import build_stack, standard_config
+from repro.simulation.engine import MSEC
+
+DEVICES = ("ufs", "plain-ssd", "supercap-ssd")
+CONFIGS = ("EXT4-DR", "BFS-DR")
+
+
+def run(scale: float = 1.0, *, devices: tuple[str, ...] = DEVICES) -> ExperimentResult:
+    """Run the Table 1 latency measurement and return its table."""
+    result = ExperimentResult(
+        name="Table 1 — fsync() latency (ms)",
+        description="4KB allocating write + fsync(); latency statistics per device and filesystem",
+        columns=("device", "config", "mean_ms", "median_ms", "p99_ms", "p99.9_ms", "p99.99_ms"),
+    )
+    calls = max(50, int(200 * scale))
+    for device in devices:
+        for config_name in CONFIGS:
+            stack = build_stack(standard_config(config_name, device))
+            loop = measure_sync_latency(stack, calls=calls, sync_call="fsync", allocating=True)
+            summary = loop.latencies.summary()
+            result.add_row(
+                device, config_name,
+                summary.mean / MSEC, summary.median / MSEC,
+                summary.p99 / MSEC, summary.p999 / MSEC, summary.p9999 / MSEC,
+            )
+    result.notes = (
+        "paper (mean, ms): UFS 1.29 vs 0.51; plain-SSD 5.95 vs 3.52; "
+        "supercap 0.15 vs 0.09"
+    )
+    return result

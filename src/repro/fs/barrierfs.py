@@ -1,0 +1,154 @@
+"""BarrierFS: the barrier-enabled filesystem (Section 4).
+
+The four synchronisation primitives:
+
+* ``fsync()`` — dispatch the dirty data as order-preserving writes (no
+  Wait-on-Transfer), hand the metadata to the Dual-Mode journal and wait for
+  the flush thread to make the transaction durable.  One wake-up for the
+  caller instead of EXT4's two.
+* ``fdatasync()`` — when no journal commit is required: wait for the data
+  DMA, then flush.
+* ``fbarrier()`` — ordering-only ``fsync``: returns once the commit thread
+  has *dispatched* the journal commit (the osync() analogue).
+* ``fdatabarrier()`` — ordering-only ``fdatasync``: dispatch the dirty data
+  with a barrier on the last request and return immediately — no flush, no
+  DMA wait, no context switch.  If there is nothing dirty, force an (empty)
+  journal commit so the epoch is still delimited.
+
+Requests issued by BarrierFS carry ``REQ_ORDERED``/``REQ_BARRIER`` so the
+epoch scheduler and order-preserving dispatch keep them in order all the way
+to the storage surface.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.block.block_device import BlockDevice
+from repro.block.request import RequestFlag
+from repro.fs.inode import File
+from repro.fs.journal.dual_mode import DualModeJournal
+from repro.fs.mount import JournalMode, MountOptions
+from repro.fs.vfs import FilesystemBase
+from repro.simulation.engine import Simulator
+
+
+class BarrierFS(FilesystemBase):
+    """EXT4 modified for the order-preserving block layer."""
+
+    name = "barrierfs"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        block_device: BlockDevice,
+        options: Optional[MountOptions] = None,
+    ):
+        super().__init__(sim, block_device, options)
+        if not block_device.order_preserving:
+            raise ValueError(
+                "BarrierFS requires an order-preserving block device "
+                "(BlockDeviceConfig(order_preserving=True))"
+            )
+        self.journal = DualModeJournal(sim, self)
+
+    # ------------------------------------------------------------------ durability
+    def fsync(self, file: File, *, issuer: str = "app"):
+        """Generator: durability + ordering, one caller wake-up."""
+        self.stats.fsync += 1
+        yield from self._sync(file, issuer=issuer, metadata_matters=True)
+
+    def fdatasync(self, file: File, *, issuer: str = "app"):
+        """Generator: data durability; journals only for fresh allocations."""
+        self.stats.fdatasync += 1
+        yield from self._sync(file, issuer=issuer, metadata_matters=False)
+
+    def _sync(self, file: File, *, issuer: str, metadata_matters: bool):
+        inode = file.inode
+        needs_journal = self._needs_journal(file, metadata_matters)
+
+        if needs_journal:
+            writeback = self._dispatch_data(file, issuer, barrier_on_last=False)
+            self._capture_metadata(file, writeback)
+            txn = self.journal.request_commit(durability=True, force=True)
+            # Single wake-up: the flush thread signals full durability.
+            yield txn.durable_event
+            return
+
+        # fdatasync() path: wait for the data DMA, then flush the cache.
+        writeback = self._dispatch_data(file, issuer, barrier_on_last=True)
+        for event in writeback.transfer_events:
+            yield event
+        if not writeback.requests:
+            # Nothing dirty: still delimit an epoch (paper, Section 4.2).
+            self.journal.request_commit(durability=False, force=True)
+        yield from self.issue_flush(issuer=issuer)
+
+    # ------------------------------------------------------------------ ordering only
+    def fbarrier(self, file: File, *, issuer: str = "app"):
+        """Generator: ordering-only fsync (returns at dispatch time)."""
+        self.stats.fbarrier += 1
+        inode = file.inode
+        needs_journal = inode.has_dirty_metadata
+        yield from self.throttle_writeback()
+
+        if needs_journal:
+            writeback = self._dispatch_data(file, issuer, barrier_on_last=False)
+            self._capture_metadata(file, writeback)
+            txn = self.journal.request_commit(durability=False, force=True)
+            yield txn.dispatched_event
+            return
+
+        # Most fbarrier() calls find clean metadata and degenerate into
+        # fdatabarrier(), which does not block at all (Section 6.3).
+        yield from self.fdatabarrier(file, issuer=issuer, _count=False)
+
+    def fdatabarrier(self, file: File, *, issuer: str = "app", _count: bool = True):
+        """Generator: storage-order barrier with no waiting whatsoever.
+
+        The only situation in which the caller blocks is dirty-page
+        throttling: when the block-layer queue has grown far beyond the
+        device queue depth the writer is paced to the device's drain rate,
+        as the kernel would.
+        """
+        if _count:
+            self.stats.fdatabarrier += 1
+        yield from self.throttle_writeback()
+        writeback = self._dispatch_data(file, issuer, barrier_on_last=True)
+        if not writeback.requests:
+            # Delimit the epoch even without dirty pages.
+            self.journal.request_commit(durability=False, force=True)
+
+    # ------------------------------------------------------------------ helpers
+    def _needs_journal(self, file: File, metadata_matters: bool) -> bool:
+        inode = file.inode
+        if metadata_matters:
+            return inode.has_dirty_metadata
+        return bool(inode.unallocated_pages)
+
+    def _dispatch_data(self, file: File, issuer: str, *, barrier_on_last: bool):
+        if self.options.journal_mode is JournalMode.DATA and file.inode.has_dirty_metadata:
+            # Full data journaling: data goes through the journal instead.
+            inode = file.inode
+            for page_index, version in sorted(inode.dirty_pages.items()):
+                self.journal.add_journaled_data(
+                    inode.data_block_name(page_index), version
+                )
+            inode.dirty_pages.clear()
+            inode.unallocated_pages.clear()
+            return self.writeback_data(file, issuer=issuer)  # empty result
+        return self.writeback_data(
+            file,
+            flags=RequestFlag.ORDERED,
+            barrier_on_last=barrier_on_last,
+            issuer=issuer,
+        )
+
+    def _capture_metadata(self, file: File, writeback) -> None:
+        inode = file.inode
+        if self.options.journal_mode is JournalMode.ORDERED:
+            for block in writeback.blocks:
+                self.journal.add_ordered_data(block.block, block.version)
+        for name, version in self.metadata_buffers_for(inode):
+            self.journal.add_buffer(name, version)
+        self.clear_metadata_dirty(inode)

@@ -1,0 +1,148 @@
+"""Inodes, files and the (host) page cache state they carry.
+
+The filesystems in this package do not store real bytes — what the paper's
+evaluation depends on is *which* logical blocks are dirty, in which order
+they are written out and with which versions, so that the crash-recovery
+checker can decide what survived.  An :class:`Inode` therefore tracks dirty
+data pages (page index → version), dirty metadata buffers, and the mapping
+from its pages to device LBAs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.storage.command import WrittenBlock
+
+
+@dataclass
+class Inode:
+    """In-memory inode with its dirty state."""
+
+    inode_no: int
+    name: str
+    extent_base_lba: int
+    size_pages: int = 0
+    #: Dirty data pages: page index -> version of the pending write.
+    dirty_pages: dict[int, int] = field(default_factory=dict)
+    #: Latest version ever written (durable or not) per page.
+    page_versions: dict[int, int] = field(default_factory=dict)
+    #: Whether the inode's metadata (timestamps, size, allocation) is dirty.
+    metadata_dirty: bool = False
+    #: Version counter of the inode's metadata buffer.
+    metadata_version: int = 0
+    #: Timestamp tick at which the inode times were last updated.
+    last_timestamp_tick: int = -1
+    #: Pages appended but not yet covered by a committed allocation.
+    unallocated_pages: set[int] = field(default_factory=set)
+
+    def lba_of(self, page_index: int) -> int:
+        """Device LBA of one page of this file."""
+        return self.extent_base_lba + page_index
+
+    def data_block_name(self, page_index: int) -> tuple:
+        """Logical block identity used for crash-recovery bookkeeping."""
+        return ("data", self.inode_no, page_index)
+
+    def metadata_block_name(self) -> tuple:
+        """Logical identity of the inode's metadata buffer."""
+        return ("inode", self.inode_no)
+
+    @property
+    def has_dirty_data(self) -> bool:
+        """Whether any data page awaits writeback."""
+        return bool(self.dirty_pages)
+
+    @property
+    def has_dirty_metadata(self) -> bool:
+        """Whether the inode's metadata awaits journaling."""
+        return self.metadata_dirty
+
+    def dirty_written_blocks(self) -> list[WrittenBlock]:
+        """The dirty data pages as :class:`WrittenBlock` payload entries."""
+        return [
+            WrittenBlock(block=self.data_block_name(page_index), version=version)
+            for page_index, version in sorted(self.dirty_pages.items())
+        ]
+
+
+@dataclass
+class File:
+    """An open file handle."""
+
+    inode: Inode
+    #: Current append offset, in pages.
+    append_page: int = 0
+
+    @property
+    def name(self) -> str:
+        """File name (path)."""
+        return self.inode.name
+
+    @property
+    def inode_no(self) -> int:
+        """Inode number backing the handle."""
+        return self.inode.inode_no
+
+
+@dataclass
+class MetadataBuffer:
+    """A journaled metadata buffer (inode block, bitmap, group descriptor)."""
+
+    name: tuple
+    version: int
+
+    def as_written_block(self) -> WrittenBlock:
+        """Payload entry for the journal descriptor write."""
+        return WrittenBlock(block=self.name, version=self.version)
+
+
+@dataclass
+class PageCacheStats:
+    """Counters about buffered writes (used by a few experiments)."""
+
+    buffered_writes: int = 0
+    pages_dirtied: int = 0
+    metadata_dirties: int = 0
+    allocating_writes: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Plain-dict view of the counters."""
+        return {
+            "buffered_writes": self.buffered_writes,
+            "pages_dirtied": self.pages_dirtied,
+            "metadata_dirties": self.metadata_dirties,
+            "allocating_writes": self.allocating_writes,
+        }
+
+
+def timestamp_tick(now: float, granularity: float) -> int:
+    """The coarse timestamp tick (jiffy) for ``now``."""
+    if granularity <= 0:
+        return int(now)
+    return int(now // granularity)
+
+
+def make_inode(inode_no: int, name: str, max_file_pages: int,
+               preallocated_pages: int = 0) -> Inode:
+    """Create an inode with its extent placed by inode number."""
+    inode = Inode(
+        inode_no=inode_no,
+        name=name,
+        extent_base_lba=inode_no * max_file_pages,
+        size_pages=preallocated_pages,
+    )
+    return inode
+
+
+def group_bitmap_block(inode_no: int, num_groups: int = 16) -> tuple:
+    """Logical identity of the block-group bitmap an inode allocates from.
+
+    EXT4 spreads inodes across block groups, so files created by different
+    threads usually allocate from different bitmaps (their commits can
+    overlap), while repeated allocating writes to the *same* file keep
+    hitting the same bitmap buffer — which is what creates the
+    multi-transaction page conflicts of Section 4.3.
+    """
+    return ("bitmap", inode_no % num_groups)

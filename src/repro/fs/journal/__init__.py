@@ -1,0 +1,12 @@
+"""Journaling machinery: transactions, JBD2 (EXT4) and Dual-Mode (BarrierFS)."""
+
+from repro.fs.journal.dual_mode import DualModeJournal
+from repro.fs.journal.jbd2 import JBD2Journal
+from repro.fs.journal.transaction import JournalTransaction, TransactionState
+
+__all__ = [
+    "DualModeJournal",
+    "JBD2Journal",
+    "JournalTransaction",
+    "TransactionState",
+]

@@ -1,0 +1,128 @@
+"""Journal transactions.
+
+A transaction accumulates dirty metadata buffers while it is *running*; a
+commit turns it into a *committing* transaction whose journal descriptor +
+log blocks (``JD``) and commit block (``JC``) are written to the journal
+area; it becomes *durable* when the device acknowledges that the commit
+record is on stable storage (or, for ordering-only commits, when the commit
+record has been dispatched under barrier protection).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.simulation.engine import Event, Simulator
+from repro.storage.command import WrittenBlock
+
+
+class TransactionState(enum.Enum):
+    """Lifecycle of a journal transaction."""
+
+    RUNNING = "running"
+    COMMITTING = "committing"
+    DURABLE = "durable"
+
+
+@dataclass
+class JournalTransaction:
+    """One journal transaction (the unit of filesystem journaling)."""
+
+    txid: int
+    state: TransactionState = TransactionState.RUNNING
+    #: Dirty metadata buffers captured by this transaction: name -> version.
+    metadata_buffers: dict[tuple, int] = field(default_factory=dict)
+    #: Journaled data pages (OptFS selective data journaling / data=journal).
+    journaled_data: dict[tuple, int] = field(default_factory=dict)
+    #: Data pages this transaction depends on in ordered mode: name -> version.
+    ordered_data: dict[tuple, int] = field(default_factory=dict)
+    #: Whether some caller requires durability (fsync) and not just ordering.
+    durability_requested: bool = False
+    #: Simulation events for the two completion levels.
+    dispatched_event: Optional[Event] = None
+    durable_event: Optional[Event] = None
+    #: Times recorded for reporting.
+    commit_requested_at: Optional[float] = None
+    dispatch_done_at: Optional[float] = None
+    durable_at: Optional[float] = None
+
+    def attach(self, sim: Simulator) -> "JournalTransaction":
+        """Create the completion events."""
+        if self.dispatched_event is None:
+            self.dispatched_event = sim.event(name=f"txn{self.txid}.dispatched")
+            self.durable_event = sim.event(name=f"txn{self.txid}.durable")
+        return self
+
+    # -- content ------------------------------------------------------------
+    def add_metadata(self, name: tuple, version: int) -> None:
+        """Record a dirty metadata buffer (keeping the newest version)."""
+        current = self.metadata_buffers.get(name)
+        if current is None or version > current:
+            self.metadata_buffers[name] = version
+
+    def add_journaled_data(self, name: tuple, version: int) -> None:
+        """Record a data page that travels inside the journal."""
+        current = self.journaled_data.get(name)
+        if current is None or version > current:
+            self.journaled_data[name] = version
+
+    def add_ordered_data(self, name: tuple, version: int) -> None:
+        """Record a data page that must be durable before this commit."""
+        current = self.ordered_data.get(name)
+        if current is None or version > current:
+            self.ordered_data[name] = version
+
+    def holds_buffer(self, name: tuple) -> bool:
+        """Whether this transaction currently owns the metadata buffer."""
+        return name in self.metadata_buffers
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the transaction carries no buffers at all."""
+        return not self.metadata_buffers and not self.journaled_data
+
+    # -- journal payload -------------------------------------------------------
+    @property
+    def log_block_count(self) -> int:
+        """Pages occupied by the descriptor and log blocks (JD)."""
+        return 1 + len(self.metadata_buffers) + len(self.journaled_data)
+
+    def descriptor_payload(self) -> list[WrittenBlock]:
+        """Payload of the JD write: descriptor block plus one log block per buffer."""
+        payload = [WrittenBlock(block=("jd", self.txid), version=self.txid)]
+        for name, version in sorted(self.metadata_buffers.items(), key=str):
+            payload.append(WrittenBlock(block=("log", self.txid, name), version=version))
+        for name, version in sorted(self.journaled_data.items(), key=str):
+            payload.append(
+                WrittenBlock(block=("logdata", self.txid, name), version=version)
+            )
+        return payload
+
+    def commit_payload(self) -> list[WrittenBlock]:
+        """Payload of the JC write: the commit block."""
+        return [WrittenBlock(block=("jc", self.txid), version=self.txid)]
+
+    # -- state transitions ------------------------------------------------------
+    def mark_committing(self, now: float) -> None:
+        """RUNNING -> COMMITTING."""
+        if self.state is not TransactionState.RUNNING:
+            raise RuntimeError(f"transaction {self.txid} is not running")
+        self.state = TransactionState.COMMITTING
+        self.commit_requested_at = now
+
+    def mark_dispatched(self, now: float) -> None:
+        """Record that JD and JC have been dispatched (ordering point)."""
+        self.dispatch_done_at = now
+        if self.dispatched_event is not None and not self.dispatched_event.triggered:
+            self.dispatched_event.succeed(self)
+
+    def mark_durable(self, now: float) -> None:
+        """COMMITTING -> DURABLE."""
+        self.state = TransactionState.DURABLE
+        self.durable_at = now
+        if self.dispatched_event is not None and not self.dispatched_event.triggered:
+            self.dispatched_event.succeed(self)
+        if self.durable_event is not None and not self.durable_event.triggered:
+            self.durable_event.succeed(self)

@@ -1,0 +1,44 @@
+"""Mount options and journaling modes shared by the filesystems."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class JournalMode(enum.Enum):
+    """EXT4/BarrierFS journaling mode."""
+
+    #: Metadata journaling; data blocks are written in place *before* the
+    #: transaction that references them commits (the default, and the mode
+    #: the paper analyses).
+    ORDERED = "ordered"
+    #: Metadata journaling only; no ordering between data and the journal.
+    WRITEBACK = "writeback"
+    #: Full data journaling: data blocks go through the journal as well.
+    DATA = "data"
+
+
+@dataclass(frozen=True)
+class MountOptions:
+    """Options that change how the filesystems enforce the storage order."""
+
+    journal_mode: JournalMode = JournalMode.ORDERED
+    #: EXT4 ``nobarrier``: skip the FLUSH/FUA when committing (durability of
+    #: the commit is no longer guaranteed, ordering relies on transfer order).
+    no_barrier: bool = False
+    #: Granularity of inode timestamp updates (Linux jiffy).  Writes that do
+    #: not cross a timestamp tick leave the inode clean, which is why most
+    #: fsync() calls on a fast device degenerate to fdatasync() (Section 6.3).
+    timestamp_granularity: float = 10_000.0
+    #: Number of metadata buffers dirtied by an allocating write (inode +
+    #: block bitmap + group descriptor is typical for EXT4).
+    metadata_buffers_per_allocation: int = 2
+    #: Maximum pages of one file extent (controls the LBA layout).
+    max_file_pages: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        if self.timestamp_granularity < 0:
+            raise ValueError("timestamp granularity cannot be negative")
+        if self.metadata_buffers_per_allocation < 1:
+            raise ValueError("allocating writes dirty at least one metadata buffer")

@@ -1,0 +1,67 @@
+"""Discrete-event simulation engine underlying the barrier-enabled IO stack.
+
+The engine is a small, deterministic, generator-based discrete-event
+simulator in the spirit of SimPy.  Host threads (application threads, the
+JBD/commit/flush threads, the pdflush daemon), the block-layer dispatcher and
+the storage controller are all modelled as :class:`Process` coroutines that
+``yield`` :class:`Event` objects (timeouts, completions, resource grants).
+
+Time is measured in **microseconds** throughout the code base; the unit is
+exposed as :data:`USEC`, :data:`MSEC` and :data:`SEC` for readability.
+
+The simulator also accounts for *context switches*: every time a process
+blocks on an event that has not yet triggered and is later woken up, the
+wake-up is counted and (optionally) charged ``context_switch_cost``
+microseconds.  This is what lets the reproduction report the
+context-switch-per-fsync numbers of Fig. 11 of the paper.
+"""
+
+from repro.simulation.engine import (
+    USEC,
+    MSEC,
+    SEC,
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from repro.simulation.resources import (
+    Condition,
+    Mutex,
+    Resource,
+    Semaphore,
+    Store,
+)
+from repro.simulation.stats import (
+    LatencyRecorder,
+    TimeSeries,
+    TimeWeightedStat,
+    percentile,
+)
+
+__all__ = [
+    "USEC",
+    "MSEC",
+    "SEC",
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Event",
+    "Interrupt",
+    "LatencyRecorder",
+    "Mutex",
+    "Process",
+    "Resource",
+    "Semaphore",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "TimeSeries",
+    "TimeWeightedStat",
+    "Timeout",
+    "percentile",
+]

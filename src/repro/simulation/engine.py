@@ -1,0 +1,442 @@
+"""Core discrete-event simulation engine.
+
+The engine provides four concepts:
+
+* :class:`Simulator` — the event loop.  It owns the simulated clock (in
+  microseconds) and a priority queue of pending events.
+* :class:`Event` — a one-shot occurrence that processes can wait on.  An
+  event is *triggered* exactly once, either successfully (with a value) or
+  with an exception.
+* :class:`Timeout` — an event that triggers after a fixed simulated delay.
+* :class:`Process` — a generator-based coroutine.  The generator yields
+  events; whenever the yielded event triggers, the process resumes with the
+  event's value (or the exception is thrown into the generator).  A process
+  is itself an event which triggers when the generator returns.
+
+The design is intentionally close to SimPy so that the IO-stack code reads
+like ordinary concurrent systems code, but the implementation is self
+contained (no external dependency) and adds first-class context-switch
+accounting which the paper's evaluation (Fig. 11) requires.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+#: One microsecond, the base time unit of the simulator.
+USEC: float = 1.0
+#: One millisecond expressed in microseconds.
+MSEC: float = 1000.0
+#: One second expressed in microseconds.
+SEC: float = 1_000_000.0
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation primitives."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes may wait for.
+
+    An event starts *pending*; it becomes *triggered* when either
+    :meth:`succeed` or :meth:`fail` is called.  Callbacks registered before
+    the trigger are invoked (in registration order) when the event fires;
+    callbacks registered afterwards are invoked immediately.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exception", "_triggered", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._triggered = False
+        self.name = name
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has already fired."""
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event fired successfully (only meaningful if triggered)."""
+        return self._triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with."""
+        if not self._triggered:
+            raise SimulationError(f"event {self!r} has not been triggered yet")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError(f"event {self!r} has already been triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._dispatch(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if self._triggered:
+            raise SimulationError(f"event {self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._triggered = True
+        self._exception = exception
+        self.sim._dispatch(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event fires (or now if it has)."""
+        if self._triggered:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        label = f" {self.name}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state} at t={self.sim.now:.1f}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` microseconds after its creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name=f"timeout({delay})")
+        self.delay = delay
+        sim._schedule(delay, self, value)
+
+
+class AllOf(Event):
+    """Fires when every event in ``events`` has fired successfully."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, name="all_of")
+        self._pending = 0
+        self._values: list[Any] = []
+        events = list(events)
+        if not events:
+            # Nothing to wait for: trigger on the next dispatch cycle.
+            sim._schedule(0.0, self, [])
+            return
+        self._pending = len(events)
+        self._values = [None] * len(events)
+        for index, event in enumerate(events):
+            event.add_callback(self._make_callback(index))
+
+    def _make_callback(self, index: int) -> Callable[[Event], None]:
+        def _on_fire(event: Event) -> None:
+            if self._triggered:
+                return
+            if not event.ok:
+                self.fail(event._exception)  # noqa: SLF001 - intra-module
+                return
+            self._values[index] = event._value  # noqa: SLF001
+            self._pending -= 1
+            if self._pending == 0:
+                self.succeed(list(self._values))
+
+        return _on_fire
+
+
+class AnyOf(Event):
+    """Fires as soon as any of ``events`` fires."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, name="any_of")
+        events = list(events)
+        if not events:
+            raise SimulationError("AnyOf requires at least one event")
+        for event in events:
+            event.add_callback(self._on_fire)
+
+    def _on_fire(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event.ok:
+            self.succeed(event._value)  # noqa: SLF001
+        else:
+            self.fail(event._exception)  # noqa: SLF001
+
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A coroutine driven by the simulator.
+
+    The wrapped generator yields :class:`Event` instances.  When a yielded
+    event has already triggered the process continues immediately (no context
+    switch is recorded); otherwise the process blocks, and when the event
+    eventually fires the process is woken up, a context switch is recorded
+    and — if the simulator was configured with a non-zero
+    ``context_switch_cost`` — the resumption is delayed by that cost.
+
+    A process is itself an event: it triggers with the generator's return
+    value, or fails with the exception that escaped the generator.
+    """
+
+    __slots__ = ("generator", "context_switches", "_waiting_on", "daemon")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: ProcessGenerator,
+        name: str = "",
+        daemon: bool = False,
+    ):
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                "Process requires a generator; did you forget to call the "
+                "generator function?"
+            )
+        self.generator = generator
+        #: Number of times this process blocked and was later woken up.
+        self.context_switches = 0
+        self._waiting_on: Optional[Event] = None
+        #: Daemon processes do not keep :meth:`Simulator.run_all` alive.
+        self.daemon = daemon
+        sim._register_process(self)
+        # Start the process on the next dispatch cycle at the current time.
+        start = Event(sim, name=f"start:{self.name}")
+        sim._schedule(0.0, start, None)
+        start.add_callback(lambda _event: self._resume(None, None, first=True))
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the process has not yet finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current wait."""
+        if self._triggered:
+            return
+        target = self._waiting_on
+        self._waiting_on = None
+        if target is not None and not target.triggered:
+            # Detach: the interrupt wins the race.
+            try:
+                target.callbacks.remove(self._wakeup)
+            except ValueError:
+                pass
+        self.sim._schedule_call(0.0, lambda: self._resume(None, Interrupt(cause)))
+
+    # -- internal ----------------------------------------------------------
+    def _wakeup(self, event: Event) -> None:
+        """Callback attached to the event the process is blocked on."""
+        if self._triggered:
+            return
+        self._waiting_on = None
+        self.context_switches += 1
+        delay = self.sim.context_switch_cost
+        if event.ok:
+            value, exc = event._value, None  # noqa: SLF001
+        else:
+            value, exc = None, event._exception  # noqa: SLF001
+        # Always go through the scheduler, even with zero cost, so that long
+        # chains of wakeups never recurse on the Python stack.
+        self.sim._schedule_call(delay, lambda: self._resume(value, exc))
+
+    def _resume(self, value: Any, exc: Optional[BaseException], first: bool = False) -> None:
+        if self._triggered:
+            return
+        self.sim._current_process = self
+        try:
+            if exc is not None:
+                event = self.generator.throw(exc)
+            else:
+                event = self.generator.send(value if not first else None)
+        except StopIteration as stop:
+            self.sim._current_process = None
+            self.sim._unregister_process(self)
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            self.sim._current_process = None
+            self.sim._unregister_process(self)
+            self.succeed(None)
+            return
+        except Exception as error:  # escaped exception fails the process
+            self.sim._current_process = None
+            self.sim._unregister_process(self)
+            if self.sim.propagate_process_errors:
+                raise
+            self.fail(error)
+            return
+        finally:
+            if self.sim._current_process is self:
+                self.sim._current_process = None
+        if not isinstance(event, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {event!r}; processes must "
+                "yield Event instances"
+            )
+        if event.triggered:
+            # Continue without blocking: no context switch is charged.
+            self.sim._schedule_call(
+                0.0,
+                lambda: self._resume(
+                    event._value if event.ok else None,  # noqa: SLF001
+                    None if event.ok else event._exception,  # noqa: SLF001
+                ),
+            )
+        else:
+            self._waiting_on = event
+            event.add_callback(self._wakeup)
+
+
+class _Call(Event):
+    """Internal event used to schedule bare callables."""
+
+    __slots__ = ()
+
+
+class Simulator:
+    """The discrete-event simulation loop.
+
+    Parameters
+    ----------
+    context_switch_cost:
+        Cost, in microseconds, charged every time a blocked process is woken
+        up.  The paper measures roughly 100–200 µs of scheduling delay
+        between cooperating kernel threads on their testbed; profiles choose
+        their own value and pass it here.
+    propagate_process_errors:
+        When ``True`` (the default) an exception escaping any process aborts
+        the simulation run — the right behaviour for tests.  Set to ``False``
+        to record the failure on the process event instead.
+    """
+
+    def __init__(
+        self,
+        context_switch_cost: float = 0.0,
+        propagate_process_errors: bool = True,
+    ):
+        self.now: float = 0.0
+        self.context_switch_cost = context_switch_cost
+        self.propagate_process_errors = propagate_process_errors
+        self._heap: list[tuple[float, int, Event, Any]] = []
+        self._sequence = itertools.count()
+        self._current_process: Optional[Process] = None
+        self._live_processes: set[Process] = set()
+
+    # -- event construction helpers ----------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh, untriggered :class:`Event`."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` microseconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: ProcessGenerator, name: str = "", daemon: bool = False
+    ) -> Process:
+        """Start a new process driving ``generator``."""
+        return Process(self, generator, name=name, daemon=daemon)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when any of ``events`` fires."""
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule(self, delay: float, event: Event, value: Any) -> None:
+        heapq.heappush(self._heap, (self.now + delay, next(self._sequence), event, value))
+
+    def _schedule_call(self, delay: float, callback: Callable[[], None]) -> None:
+        call = _Call(self, name="call")
+        call.add_callback(lambda _event: callback())
+        self._schedule(delay, call, None)
+
+    def _dispatch(self, event: Event) -> None:
+        """Run the callbacks of an event that has just triggered."""
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            callback(event)
+
+    def _register_process(self, process: Process) -> None:
+        self._live_processes.add(process)
+
+    def _unregister_process(self, process: Process) -> None:
+        self._live_processes.discard(process)
+
+    # -- running ------------------------------------------------------------
+    def step(self) -> bool:
+        """Process the next scheduled event.  Returns ``False`` when idle."""
+        if not self._heap:
+            return False
+        when, _seq, event, value = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimulationError("time went backwards")
+        self.now = when
+        if event._triggered:  # noqa: SLF001 - e.g. timeout raced with interrupt
+            return True
+        event._triggered = True  # noqa: SLF001
+        event._value = value  # noqa: SLF001
+        self._dispatch(event)
+        return True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the event queue empties or ``until`` (absolute time)."""
+        while self._heap:
+            when = self._heap[0][0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            self.step()
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
+
+    def run_until_complete(self, event: Event, limit: Optional[float] = None) -> Any:
+        """Run until ``event`` fires; return its value.
+
+        Raises :class:`SimulationError` if the event queue drains (or the
+        optional time ``limit`` is reached) before the event triggers —
+        usually a sign of a deadlock in the modelled IO stack.
+        """
+        while not event.triggered:
+            if limit is not None and self.now >= limit:
+                raise SimulationError(
+                    f"simulation reached limit t={limit} before {event!r} fired"
+                )
+            if not self.step():
+                raise SimulationError(
+                    f"simulation ran out of events before {event!r} fired "
+                    "(deadlock in the modelled stack?)"
+                )
+        return event.value
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._current_process

@@ -1,0 +1,211 @@
+"""Synchronisation primitives for simulated processes.
+
+These are the simulated counterparts of the kernel primitives the paper's IO
+stack relies on: mutexes protecting the running transaction, wait queues used
+by the JBD/commit/flush threads, bounded command queues at the device, and
+condition variables used to signal "transaction committed" or "cache
+flushed".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Generator, Optional
+
+from repro.simulation.engine import Event, SimulationError, Simulator
+
+
+class Mutex:
+    """A non-reentrant mutual-exclusion lock.
+
+    ``acquire()`` returns an :class:`Event` that fires when the lock is
+    granted; ``release()`` hands the lock to the longest waiting requester.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "mutex"):
+        self.sim = sim
+        self.name = name
+        self._locked = False
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def locked(self) -> bool:
+        """Whether the lock is currently held."""
+        return self._locked
+
+    def acquire(self) -> Event:
+        """Request the lock; the returned event fires when it is granted."""
+        event = self.sim.event(name=f"{self.name}.acquire")
+        if not self._locked:
+            self._locked = True
+            event.succeed(self)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Release the lock, granting it to the next waiter if any."""
+        if not self._locked:
+            raise SimulationError(f"{self.name} released while not held")
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            waiter.succeed(self)
+        else:
+            self._locked = False
+
+    def holding(self) -> "_MutexContext":
+        """Generator-friendly context helper; see :class:`_MutexContext`."""
+        return _MutexContext(self)
+
+
+class _MutexContext:
+    """Helper so process code can write ``yield from mutex.holding().run(fn)``."""
+
+    def __init__(self, mutex: Mutex):
+        self.mutex = mutex
+
+    def run(self, body: Callable[[], Generator[Event, Any, Any]]) -> Generator[Event, Any, Any]:
+        """Acquire the mutex, run the generator ``body()``, always release."""
+        yield self.mutex.acquire()
+        try:
+            result = yield from body()
+        finally:
+            self.mutex.release()
+        return result
+
+
+class Semaphore:
+    """A counting semaphore with FIFO wakeup order."""
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "semaphore"):
+        if capacity < 0:
+            raise SimulationError("semaphore capacity must be non-negative")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._available = capacity
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def available(self) -> int:
+        """Number of currently free slots."""
+        return self._available
+
+    def acquire(self) -> Event:
+        """Take one slot; the returned event fires when a slot is available."""
+        event = self.sim.event(name=f"{self.name}.acquire")
+        if self._available > 0:
+            self._available -= 1
+            event.succeed(self)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return one slot, waking the longest waiting acquirer if any."""
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            waiter.succeed(self)
+        else:
+            self._available += 1
+            if self._available > self.capacity:
+                raise SimulationError(f"{self.name} released more than acquired")
+
+    @property
+    def in_use(self) -> int:
+        """Number of slots currently held."""
+        return self.capacity - self._available
+
+
+class Resource(Semaphore):
+    """Alias of :class:`Semaphore` with a name that reads better for devices."""
+
+
+class Store:
+    """An unbounded (or bounded) FIFO queue of items between processes."""
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None, name: str = "store"):
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple[Any, ...]:
+        """Snapshot of the queued items (oldest first)."""
+        return tuple(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Enqueue ``item``; the event fires once the item is accepted."""
+        event = self.sim.event(name=f"{self.name}.put")
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            event.succeed(item)
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            event.succeed(item)
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """Dequeue the oldest item; the event fires with the item."""
+        event = self.sim.event(name=f"{self.name}.get")
+        if self._items:
+            item = self._items.popleft()
+            event.succeed(item)
+            self._admit_putter()
+        else:
+            self._getters.append(event)
+        return event
+
+    def _admit_putter(self) -> None:
+        if self._putters and (
+            self.capacity is None or len(self._items) < self.capacity
+        ):
+            put_event, item = self._putters.popleft()
+            self._items.append(item)
+            put_event.succeed(item)
+
+
+class Condition:
+    """A broadcast condition variable.
+
+    ``wait()`` returns an event that fires at the next ``notify_all()``.
+    ``wait_for(predicate)`` keeps re-arming until the predicate holds, which
+    is how the commit thread waits for "conflict-page list empty" and the
+    application thread waits for "transaction durable".
+    """
+
+    def __init__(self, sim: Simulator, name: str = "condition"):
+        self.sim = sim
+        self.name = name
+        self._waiters: list[Event] = []
+
+    def wait(self) -> Event:
+        """Event that fires at the next notification."""
+        event = self.sim.event(name=f"{self.name}.wait")
+        self._waiters.append(event)
+        return event
+
+    def notify_all(self, value: Any = None) -> None:
+        """Wake every current waiter."""
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter.succeed(value)
+
+    def wait_for(self, predicate: Callable[[], bool]) -> Generator[Event, Any, None]:
+        """Generator: block until ``predicate()`` is true."""
+        while not predicate():
+            yield self.wait()
+
+    @property
+    def waiter_count(self) -> int:
+        """Number of processes currently blocked on the condition."""
+        return len(self._waiters)

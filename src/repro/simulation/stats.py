@@ -1,0 +1,201 @@
+"""Lightweight statistics collectors used throughout the simulation.
+
+Three collectors cover everything the paper's evaluation reports:
+
+* :class:`LatencyRecorder` — per-operation latency samples with the
+  percentile summary of Table 1 (mean / median / 99 / 99.9 / 99.99).
+* :class:`TimeSeries` — (time, value) samples, used for the queue-depth
+  traces of Fig. 10 and Fig. 12.
+* :class:`TimeWeightedStat` — time-weighted average of a stepwise signal
+  (average queue depth in Fig. 9).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """Return the ``fraction`` (0..1) percentile using linear interpolation.
+
+    A tiny re-implementation so that hot loops in the simulator do not pay
+    numpy conversion costs for small sample sets; results match
+    ``numpy.percentile(..., method="linear")``.
+    """
+    if not samples:
+        raise ValueError("percentile of an empty sample set")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be within [0, 1], got {fraction}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = fraction * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    value = ordered[low] * (1.0 - weight) + ordered[high] * weight
+    # Clamp away interpolation round-off so percentiles never exceed the
+    # extreme samples.
+    return min(max(value, ordered[0]), ordered[-1])
+
+
+@dataclass
+class LatencySummary:
+    """Summary statistics of a latency distribution (microseconds)."""
+
+    count: int
+    mean: float
+    median: float
+    p99: float
+    p999: float
+    p9999: float
+    minimum: float
+    maximum: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Dictionary form used by the experiment reporting code."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "median": self.median,
+            "p99": self.p99,
+            "p99.9": self.p999,
+            "p99.99": self.p9999,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+class LatencyRecorder:
+    """Collects latency samples and summarises them like Table 1."""
+
+    def __init__(self, name: str = "latency"):
+        self.name = name
+        self.samples: list[float] = []
+
+    def record(self, latency: float) -> None:
+        """Add one latency sample (microseconds)."""
+        if latency < 0:
+            raise ValueError(f"negative latency sample: {latency}")
+        self.samples.append(latency)
+
+    def extend(self, latencies: Iterable[float]) -> None:
+        """Add many samples at once."""
+        for latency in latencies:
+            self.record(latency)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the samples."""
+        if not self.samples:
+            raise ValueError(f"no samples recorded in {self.name}")
+        return sum(self.samples) / len(self.samples)
+
+    def summary(self) -> LatencySummary:
+        """Return the Table-1 style percentile summary."""
+        if not self.samples:
+            raise ValueError(f"no samples recorded in {self.name}")
+        return LatencySummary(
+            count=len(self.samples),
+            mean=self.mean,
+            median=percentile(self.samples, 0.50),
+            p99=percentile(self.samples, 0.99),
+            p999=percentile(self.samples, 0.999),
+            p9999=percentile(self.samples, 0.9999),
+            minimum=min(self.samples),
+            maximum=max(self.samples),
+        )
+
+
+@dataclass
+class TimeSeries:
+    """A sequence of (time, value) samples of a stepwise signal."""
+
+    name: str = "series"
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        """Append a sample; times must be non-decreasing."""
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"time series {self.name} got out-of-order sample at {time}"
+            )
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def maximum(self) -> float:
+        """Largest recorded value."""
+        if not self.values:
+            raise ValueError(f"time series {self.name} is empty")
+        return max(self.values)
+
+    def time_weighted_average(self, until: float | None = None) -> float:
+        """Average of the stepwise signal weighted by how long it held."""
+        if not self.times:
+            raise ValueError(f"time series {self.name} is empty")
+        end = until if until is not None else self.times[-1]
+        total = 0.0
+        duration = 0.0
+        for index, start in enumerate(self.times):
+            stop = self.times[index + 1] if index + 1 < len(self.times) else end
+            stop = min(stop, end)
+            if stop <= start:
+                continue
+            total += self.values[index] * (stop - start)
+            duration += stop - start
+        if duration == 0.0:
+            return self.values[-1]
+        return total / duration
+
+    def samples(self) -> list[tuple[float, float]]:
+        """List of (time, value) pairs."""
+        return list(zip(self.times, self.values))
+
+
+class TimeWeightedStat:
+    """Incremental time-weighted mean of a stepwise signal."""
+
+    def __init__(self, initial: float = 0.0, start_time: float = 0.0):
+        self._value = initial
+        self._last_time = start_time
+        self._weighted_sum = 0.0
+        self._duration = 0.0
+        self.peak = initial
+
+    def update(self, time: float, value: float) -> None:
+        """Record that the signal changed to ``value`` at ``time``."""
+        if time < self._last_time:
+            raise ValueError("time went backwards in TimeWeightedStat")
+        self._weighted_sum += self._value * (time - self._last_time)
+        self._duration += time - self._last_time
+        self._last_time = time
+        self._value = value
+        self.peak = max(self.peak, value)
+
+    @property
+    def current(self) -> float:
+        """The most recent value of the signal."""
+        return self._value
+
+    def mean(self, now: float | None = None) -> float:
+        """Time-weighted mean up to ``now`` (or the last update)."""
+        weighted = self._weighted_sum
+        duration = self._duration
+        if now is not None and now > self._last_time:
+            weighted += self._value * (now - self._last_time)
+            duration += now - self._last_time
+        if duration == 0.0:
+            return self._value
+        return weighted / duration

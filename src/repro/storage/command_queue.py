@@ -1,0 +1,125 @@
+"""Device-side command queue with SCSI task-attribute semantics.
+
+The command queue is where the device-side half of the storage order is
+decided.  The paper's order-preserving dispatch relies on the standard SCSI
+behaviour of the three task attributes:
+
+* ``HEAD_OF_QUEUE`` commands are serviced as soon as possible (used for
+  flushes that must not sit behind queued writes).
+* ``ORDERED`` commands are serviced only after every older command has been
+  serviced, and no younger command may be serviced before them.
+* ``SIMPLE`` commands may be serviced in any order the controller likes —
+  but never ahead of an older ``ORDERED`` command.
+
+``select_next`` implements exactly those rules; the controller's freedom for
+``SIMPLE`` commands is modelled with a seeded RNG so that the "orderless"
+behaviour of the legacy stack is visible (and reproducible) in tests.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from typing import Iterator, Optional
+
+from repro.storage.command import Command, CommandPriority
+
+
+class CommandQueueFullError(RuntimeError):
+    """Raised when a command is inserted into a full queue."""
+
+
+class CommandQueue:
+    """A bounded queue of commands awaiting service by the controller."""
+
+    def __init__(self, depth: int, *, seed: int = 0):
+        if depth < 1:
+            raise ValueError("command queue depth must be >= 1")
+        self.depth = depth
+        self._entries: "OrderedDict[int, Command]" = OrderedDict()
+        self._arrival_seq = 0
+        self._arrival_of: dict[int, int] = {}
+        self._rng = random.Random(seed)
+
+    # -- capacity -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def has_space(self) -> bool:
+        """Whether the device would accept another command right now."""
+        return len(self._entries) < self.depth
+
+    @property
+    def occupancy(self) -> int:
+        """Number of commands currently queued (the visible queue depth)."""
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Command]:
+        return iter(self._entries.values())
+
+    # -- insertion ----------------------------------------------------------
+    def try_insert(self, command: Command) -> bool:
+        """Insert ``command`` if there is space; return whether it was taken."""
+        if not self.has_space:
+            return False
+        self._arrival_seq += 1
+        self._arrival_of[command.command_id] = self._arrival_seq
+        self._entries[command.command_id] = command
+        return True
+
+    def insert(self, command: Command) -> None:
+        """Insert ``command``; raise :class:`CommandQueueFullError` if full."""
+        if not self.try_insert(command):
+            raise CommandQueueFullError(
+                f"command queue full (depth={self.depth}) for {command.describe()}"
+            )
+
+    # -- selection ----------------------------------------------------------
+    def arrival_order(self, command: Command) -> int:
+        """The arrival sequence number assigned when the command was queued."""
+        return self._arrival_of[command.command_id]
+
+    def select_next(self) -> Optional[Command]:
+        """Pick (and remove) the next command to service, or ``None`` if empty.
+
+        The selection honours the SCSI task attributes described in the
+        module docstring; among equally-eligible ``SIMPLE`` commands the
+        controller picks pseudo-randomly, modelling its freedom to optimise.
+        """
+        if not self._entries:
+            return None
+        commands = list(self._entries.values())
+
+        head = [cmd for cmd in commands if cmd.priority is CommandPriority.HEAD_OF_QUEUE]
+        if head:
+            chosen = min(head, key=self.arrival_order)
+            return self._remove(chosen)
+
+        ordered = [cmd for cmd in commands if cmd.priority is CommandPriority.ORDERED]
+        if ordered:
+            oldest_ordered = min(ordered, key=self.arrival_order)
+            barrier_seq = self.arrival_order(oldest_ordered)
+            eligible = [
+                cmd
+                for cmd in commands
+                if cmd.priority is CommandPriority.SIMPLE
+                and self.arrival_order(cmd) < barrier_seq
+            ]
+            if not eligible:
+                return self._remove(oldest_ordered)
+            chosen = self._rng.choice(eligible)
+            return self._remove(chosen)
+
+        chosen = self._rng.choice(commands)
+        return self._remove(chosen)
+
+    def _remove(self, command: Command) -> Command:
+        del self._entries[command.command_id]
+        self._arrival_of.pop(command.command_id, None)
+        return command
+
+    # -- introspection -------------------------------------------------------
+    def pending_commands(self) -> list[Command]:
+        """Snapshot of the queued commands in arrival order."""
+        return sorted(self._entries.values(), key=self.arrival_order)

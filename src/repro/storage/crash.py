@@ -1,0 +1,118 @@
+"""Crash injection and recovery.
+
+A *crash* in the simulation is an instantaneous power cut: the host stops,
+the command queue contents and the volatile writeback cache are lost, and
+what survives is determined by the device's barrier mode:
+
+* **PLP** — everything that was transferred survives (the cache is durable).
+* **NONE** (legacy) — exactly the pages the controller happened to have
+  programmed survive; because the legacy controller drains in arbitrary
+  order this is an arbitrary subset of the transferred pages.
+* **IN_ORDER_WRITEBACK / TRANSACTIONAL** — the programmed pages survive; the
+  drain policy itself guarantees they form an epoch prefix (respectively a
+  union of atomic flush groups).
+* **IN_ORDER_RECOVERY** — the LFS-style recovery scan of the FTL log keeps
+  the programmed prefix of the log and discards everything after the first
+  hole, which restores the epoch-prefix guarantee even though programs were
+  issued at full parallelism.
+
+:func:`recover_durable_blocks` performs that computation and returns a
+:class:`CrashState` that the filesystem recovery code and the verification
+module consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.storage.barrier_modes import BarrierMode
+from repro.storage.device import StorageDevice
+from repro.storage.writeback_cache import CacheEntry
+
+
+@dataclass
+class CrashState:
+    """Durable storage contents reconstructed after a crash."""
+
+    #: Simulation time at which power was cut.
+    crash_time: float
+    #: Barrier mode the device was operating under.
+    barrier_mode: BarrierMode
+    #: Every page ever transferred to the device, in transfer order.
+    transferred: list[CacheEntry] = field(default_factory=list)
+    #: The subset of ``transferred`` that survived the crash, transfer order.
+    durable: list[CacheEntry] = field(default_factory=list)
+
+    @property
+    def durable_blocks(self) -> dict[object, int]:
+        """Map logical block -> the version that survived (latest durable)."""
+        latest: dict[object, int] = {}
+        for entry in sorted(self.durable, key=lambda item: item.transfer_seq):
+            latest[entry.block] = entry.version
+        return latest
+
+    def survived(self, block: object, version: Optional[int] = None) -> bool:
+        """Whether ``block`` (optionally a specific version) is durable."""
+        durable = self.durable_blocks
+        if block not in durable:
+            return False
+        if version is None:
+            return True
+        return durable[block] >= version
+
+    @property
+    def lost(self) -> list[CacheEntry]:
+        """Transferred pages that did not survive."""
+        durable_seqs = {entry.transfer_seq for entry in self.durable}
+        return [entry for entry in self.transferred if entry.transfer_seq not in durable_seqs]
+
+    def durable_epochs(self) -> list[int]:
+        """Sorted list of epochs that have at least one durable page."""
+        return sorted({entry.epoch for entry in self.durable})
+
+
+def recover_durable_blocks(device: StorageDevice, *, crash_time: Optional[float] = None) -> CrashState:
+    """Compute what survives if the device loses power *right now*.
+
+    The device should normally be powered off first via
+    :meth:`StorageDevice.power_off`; this function is read-only and may also
+    be used mid-run to ask "what would survive a crash at this instant".
+    """
+    mode = device.barrier_mode
+    time = crash_time if crash_time is not None else device.sim.now
+    transferred = device.written_history()
+
+    if mode is BarrierMode.PLP:
+        durable = list(transferred)
+    elif mode is BarrierMode.IN_ORDER_RECOVERY:
+        durable = _recover_from_log(device, transferred)
+    elif mode is BarrierMode.TRANSACTIONAL:
+        durable = [entry for entry in transferred if entry.is_durable]
+    else:  # NONE and IN_ORDER_WRITEBACK: whatever was programmed survives.
+        durable = [entry for entry in transferred if entry.is_durable]
+
+    durable_sorted = sorted(durable, key=lambda entry: entry.transfer_seq)
+    return CrashState(
+        crash_time=time,
+        barrier_mode=mode,
+        transferred=sorted(transferred, key=lambda entry: entry.transfer_seq),
+        durable=durable_sorted,
+    )
+
+
+def _recover_from_log(device: StorageDevice, transferred: list[CacheEntry]) -> list[CacheEntry]:
+    """LFS-style recovery: keep the programmed prefix of the FTL log."""
+    if device.ftl is None:
+        return [entry for entry in transferred if entry.is_durable]
+    recovered = device.ftl.recover()
+    # Entries may have been appended to the log more than once (GC); dedupe
+    # while keeping transfer order.
+    seen: set[int] = set()
+    unique: list[CacheEntry] = []
+    for entry in recovered:
+        if entry.transfer_seq in seen:
+            continue
+        seen.add(entry.transfer_seq)
+        unique.append(entry)
+    return unique

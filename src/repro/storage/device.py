@@ -1,0 +1,410 @@
+"""The simulated barrier-capable flash storage device.
+
+:class:`StorageDevice` glues the command queue, the writeback cache, the
+flash backend and (for the in-order-recovery barrier mode) the log-structured
+FTL into the device the block layer talks to.  Its behaviour follows the
+anatomy the paper lays out:
+
+* Commands are accepted into a bounded command queue; the host observes
+  *device busy* when the queue is full.
+* A controller loop picks queued commands according to their SCSI task
+  attribute (``simple`` / ``ordered`` / ``head-of-queue``) and services them
+  one at a time over the (serial) host link: command decode, DMA transfer,
+  completion.  This is where order-preserving dispatch gets its transfer
+  order guarantee from: an ``ordered`` barrier write cannot be serviced
+  before older commands nor after younger ones.
+* Transferred pages land in the volatile writeback cache tagged with the
+  current *persist epoch*; a barrier write closes the epoch.
+* A background flusher drains the cache to flash according to the configured
+  :class:`~repro.storage.barrier_modes.BarrierMode` — in arbitrary order for
+  a legacy device, in log order for the paper's in-order-recovery UFS
+  firmware, epoch-by-epoch for in-order write-back, or as atomic groups for
+  transactional write-back.  Power-loss-protected devices treat pages as
+  durable on arrival.
+* ``FLUSH`` commands wait until everything dirty at their service time is
+  durable; ``FUA`` writes program their payload synchronously.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.simulation.engine import Event, Simulator
+from repro.simulation.resources import Condition
+from repro.simulation.stats import TimeSeries, TimeWeightedStat
+from repro.storage.barrier_modes import BarrierMode, default_barrier_mode
+from repro.storage.command import Command, CommandKind
+from repro.storage.command_queue import CommandQueue
+from repro.storage.flash import FlashBackend
+from repro.storage.ftl import LogStructuredFTL
+from repro.storage.profiles import DeviceProfile
+from repro.storage.writeback_cache import CacheEntry, WritebackCache
+
+
+class DeviceBusyError(RuntimeError):
+    """Raised by :meth:`StorageDevice.submit` when the command queue is full."""
+
+
+@dataclass
+class DeviceStats:
+    """Aggregate counters the experiments read after a run."""
+
+    writes_serviced: int = 0
+    reads_serviced: int = 0
+    flushes_serviced: int = 0
+    pages_transferred: int = 0
+    barrier_writes: int = 0
+    fua_writes: int = 0
+    busy_rejections: int = 0
+    commands_submitted: int = 0
+    queue_depth: TimeWeightedStat = field(default_factory=TimeWeightedStat)
+
+
+class StorageDevice:
+    """A barrier-capable flash device exposed to the block layer."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: DeviceProfile,
+        *,
+        barrier_mode: Optional[BarrierMode] = None,
+        seed: int = 0,
+        track_queue_depth: bool = False,
+        max_dirty_age: float = 5000.0,
+    ):
+        self.sim = sim
+        self.profile = profile
+        self.barrier_mode = barrier_mode if barrier_mode is not None else default_barrier_mode(profile)
+        if self.barrier_mode.supports_barrier and not profile.supports_barrier:
+            raise ValueError(
+                f"device {profile.name} does not support the barrier command; "
+                f"requested mode {self.barrier_mode.value}"
+            )
+        self.queue = CommandQueue(profile.queue_depth, seed=seed)
+        self.cache = WritebackCache(profile.cache_pages)
+        self.flash = FlashBackend(sim, profile)
+        self.ftl: Optional[LogStructuredFTL] = (
+            LogStructuredFTL(profile.segment_pages)
+            if self.barrier_mode is BarrierMode.IN_ORDER_RECOVERY
+            else None
+        )
+        self.stats = DeviceStats()
+        self.current_epoch = 0
+        #: How long the controller lets a dirty page sit in the cache before
+        #: writing it back even without pressure (background drain interval).
+        self.max_dirty_age = max_dirty_age
+        self._rng = random.Random(seed)
+        self._flush_group_counter = 0
+        self._in_flight: set[int] = set()
+        self._drain_watermark: Optional[int] = None
+
+        self._queue_activity = Condition(sim, name="device.queue")
+        self._slot_freed = Condition(sim, name="device.slot")
+        self._cache_work = Condition(sim, name="device.cachework")
+        self._durability_advanced = Condition(sim, name="device.durability")
+
+        self.queue_depth_series: Optional[TimeSeries] = (
+            TimeSeries("device.queue_depth") if track_queue_depth else None
+        )
+        self._powered_on = True
+
+        sim.process(self._controller_loop(), name=f"{profile.name}.controller", daemon=True)
+        sim.process(self._flusher_loop(), name=f"{profile.name}.flusher", daemon=True)
+
+    # ------------------------------------------------------------------ host API
+    def submit(self, command: Command) -> Command:
+        """Submit a command; raises :class:`DeviceBusyError` if the queue is full."""
+        if not self.try_submit(command):
+            raise DeviceBusyError(f"{self.profile.name}: command queue full")
+        return command
+
+    def try_submit(self, command: Command) -> bool:
+        """Submit a command if the queue has space; returns ``True`` on success."""
+        if not self._powered_on:
+            raise RuntimeError("device is powered off (crashed)")
+        command.attach(self.sim)
+        if not self.queue.try_insert(command):
+            self.stats.busy_rejections += 1
+            return False
+        command.submit_time = self.sim.now if command.submit_time is None else command.submit_time
+        command.accept_time = self.sim.now
+        self.stats.commands_submitted += 1
+        self._record_queue_depth()
+        command.accepted.succeed(command)
+        self._queue_activity.notify_all()
+        return True
+
+    @property
+    def has_queue_space(self) -> bool:
+        """Whether a submit right now would be accepted."""
+        return self.queue.has_space
+
+    def slot_available(self) -> Event:
+        """Event that fires the next time a queue slot frees up."""
+        if self.queue.has_space:
+            event = self.sim.event(name="device.slot.ready")
+            event.succeed()
+            return event
+        return self._slot_freed.wait()
+
+    def flush_cache_command(self) -> Command:
+        """Build (but do not submit) a standalone FLUSH command."""
+        from repro.storage.command import flush_command
+
+        return flush_command()
+
+    @property
+    def queue_occupancy(self) -> int:
+        """Number of commands currently sitting in the command queue."""
+        return self.queue.occupancy
+
+    # ------------------------------------------------------------------ controller
+    def _record_queue_depth(self) -> None:
+        depth = self.queue.occupancy
+        self.stats.queue_depth.update(self.sim.now, depth)
+        if self.queue_depth_series is not None:
+            self.queue_depth_series.record(self.sim.now, depth)
+
+    def _controller_loop(self):
+        profile = self.profile
+        while True:
+            command = self.queue.select_next()
+            if command is None:
+                yield self._queue_activity.wait()
+                continue
+            self._record_queue_depth()
+            self._slot_freed.notify_all()
+            command.service_start_time = self.sim.now
+            yield self.sim.timeout(profile.command_overhead)
+
+            if command.kind is CommandKind.FLUSH:
+                # Flushes proceed asynchronously so that the device keeps
+                # accepting and transferring queued writes while the cache
+                # drains (this is what lets the dual-mode journal pipeline
+                # journal commits).
+                self.sim.process(
+                    self._service_flush(command), name="device.flush", daemon=True
+                )
+                continue
+
+            if command.kind is CommandKind.READ:
+                yield from self._service_read(command)
+                continue
+
+            yield from self._service_write(command)
+
+    def _service_read(self, command: Command):
+        yield self.flash.read(command.num_pages)
+        yield self.sim.timeout(command.num_pages * self.profile.transfer_time_per_page)
+        command.transfer_time = self.sim.now
+        command.transferred.succeed(command)
+        yield self.sim.timeout(self.profile.completion_overhead)
+        command.complete_time = self.sim.now
+        self.stats.reads_serviced += 1
+        command.completed.succeed(command)
+
+    def _service_write(self, command: Command):
+        profile = self.profile
+        if command.wants_preflush:
+            yield from self._drain_dirty_upto(self._dirty_watermark())
+            yield self.sim.timeout(profile.flush_overhead)
+
+        yield self.sim.timeout(command.num_pages * profile.transfer_time_per_page)
+        command.transfer_time = self.sim.now
+        command.epoch = self.current_epoch
+        entries = self.cache.admit(
+            command.payload,
+            epoch=self.current_epoch,
+            time=self.sim.now,
+            command_id=command.command_id,
+            durable_immediately=self.barrier_mode is BarrierMode.PLP,
+        )
+        if command.is_barrier and self.barrier_mode.supports_barrier:
+            self.current_epoch += 1
+            self.stats.barrier_writes += 1
+        self.stats.pages_transferred += command.num_pages
+        command.transferred.succeed(command)
+        self._cache_work.notify_all()
+
+        if command.is_fua:
+            self.stats.fua_writes += 1
+            yield from self._persist_fua(entries)
+
+        yield self.sim.timeout(profile.completion_overhead)
+        command.complete_time = self.sim.now
+        self.stats.writes_serviced += 1
+        command.completed.succeed(command)
+
+    def _persist_fua(self, entries: list[CacheEntry]):
+        """Program a FUA payload synchronously (bypassing the flusher)."""
+        pending = [entry for entry in entries if not entry.is_durable]
+        if not pending:
+            return
+        overhead = self.barrier_mode.program_overhead(self.profile)
+        for entry in pending:
+            self._in_flight.add(entry.transfer_seq)
+        if self.ftl is not None:
+            pages = self.ftl.append_batch(pending, self.sim.now)
+        else:
+            pages = None
+        yield self.flash.program(len(pending), overhead_factor=overhead)
+        self.cache.mark_durable(pending, self.sim.now)
+        if self.ftl is not None and pages is not None:
+            self.ftl.mark_programmed(pages, self.sim.now)
+        for entry in pending:
+            self._in_flight.discard(entry.transfer_seq)
+        self._durability_advanced.notify_all()
+
+    def _service_flush(self, command: Command):
+        watermark = self._dirty_watermark()
+        yield from self._drain_dirty_upto(watermark)
+        yield self.sim.timeout(self.profile.flush_overhead)
+        command.transfer_time = self.sim.now
+        command.transferred.succeed(command)
+        command.complete_time = self.sim.now
+        self.stats.flushes_serviced += 1
+        command.completed.succeed(command)
+
+    def _dirty_watermark(self) -> Optional[int]:
+        dirty = self.cache.dirty_entries
+        if not dirty:
+            return None
+        return max(entry.transfer_seq for entry in dirty)
+
+    def _drain_dirty_upto(self, watermark: Optional[int]):
+        """Wait until every cache entry admitted up to ``watermark`` is durable."""
+        if watermark is None:
+            return
+        if self._drain_watermark is None or watermark > self._drain_watermark:
+            self._drain_watermark = watermark
+        self._cache_work.notify_all()
+        while any(
+            entry.transfer_seq <= watermark and not entry.is_durable
+            for entry in self.cache.dirty_entries
+        ):
+            yield self._durability_advanced.wait()
+
+    # ------------------------------------------------------------------ flusher
+    def _pending_dirty(self) -> list[CacheEntry]:
+        """Dirty entries not already being programmed, in transfer order."""
+        return [
+            entry
+            for entry in self.cache.dirty_entries
+            if entry.transfer_seq not in self._in_flight
+        ]
+
+    def _should_drain(self, dirty: list[CacheEntry]) -> bool:
+        """Whether the flusher should start programming right away.
+
+        The controller writes back when (i) the host asked for durability
+        (flush/FUA set a drain watermark), (ii) enough pages accumulated to
+        fill one program round, or (iii) the oldest dirty page has sat in the
+        cache longer than ``max_dirty_age``.  Otherwise it keeps coalescing,
+        which is what lets a journal commit's D, JD and JC all go to flash in
+        a single program round.
+        """
+        if not dirty:
+            return False
+        if self._drain_watermark is not None and any(
+            entry.transfer_seq <= self._drain_watermark for entry in dirty
+        ):
+            return True
+        if len(dirty) >= self.profile.parallelism:
+            return True
+        oldest_age = self.sim.now - dirty[0].transfer_time
+        return oldest_age >= self.max_dirty_age
+
+    def _flusher_loop(self):
+        while True:
+            dirty = self._pending_dirty()
+            if not dirty:
+                yield self._cache_work.wait()
+                continue
+            if not self._should_drain(dirty):
+                oldest_age = self.sim.now - dirty[0].transfer_time
+                remaining = max(1.0, self.max_dirty_age - oldest_age)
+                yield self.sim.any_of(
+                    [self._cache_work.wait(), self.sim.timeout(remaining)]
+                )
+                continue
+            batch = self._select_flush_batch()
+            if not batch:
+                yield self._cache_work.wait()
+                continue
+            for entry in batch:
+                self._in_flight.add(entry.transfer_seq)
+            overhead = self.barrier_mode.program_overhead(self.profile)
+            pages = None
+            if self.ftl is not None:
+                pages = self.ftl.append_batch(batch, self.sim.now)
+            flush_group = None
+            if self.barrier_mode.is_atomic_flush:
+                self._flush_group_counter += 1
+                flush_group = self._flush_group_counter
+            yield self.flash.program(len(batch), overhead_factor=overhead)
+            self.cache.mark_durable(batch, self.sim.now, flush_group=flush_group)
+            if self.ftl is not None and pages is not None:
+                self.ftl.mark_programmed(pages, self.sim.now)
+                if self.ftl.needs_gc():
+                    self.ftl.run_gc(self.sim.now)
+            for entry in batch:
+                self._in_flight.discard(entry.transfer_seq)
+            self._durability_advanced.notify_all()
+
+    def _select_flush_batch(self) -> list[CacheEntry]:
+        """Choose the next set of cache entries to program, per barrier mode."""
+        if self.barrier_mode is BarrierMode.PLP:
+            return []
+        dirty = self._pending_dirty()
+        if not dirty:
+            return []
+        parallelism = self.profile.parallelism
+
+        if self.barrier_mode is BarrierMode.IN_ORDER_WRITEBACK:
+            # Only the oldest epoch that still has dirty pages may be
+            # programmed; younger epochs wait for it.
+            oldest_epoch = min(entry.epoch for entry in dirty)
+            eligible = [entry for entry in dirty if entry.epoch == oldest_epoch]
+            return eligible[:parallelism]
+
+        if self.barrier_mode is BarrierMode.TRANSACTIONAL:
+            # The whole dirty set is flushed as a single atomic group.
+            return dirty
+
+        if self.barrier_mode is BarrierMode.NONE:
+            # Legacy device: the controller drains in whatever order it
+            # pleases.  Sample without replacement to model that freedom.
+            self._rng.shuffle(dirty)
+            return dirty[:parallelism]
+
+        # IN_ORDER_RECOVERY: drain in transfer (log) order at full speed.
+        return dirty[:parallelism]
+
+    # ------------------------------------------------------------------ crash support
+    def power_off(self) -> None:
+        """Cut power: no further commands are accepted.
+
+        The durable state at this instant is computed by
+        :func:`repro.storage.crash.recover_durable_blocks`.
+        """
+        self._powered_on = False
+
+    @property
+    def powered_on(self) -> bool:
+        """Whether the device is still accepting commands."""
+        return self._powered_on
+
+    def written_history(self) -> list[CacheEntry]:
+        """Every page ever admitted to the cache, in transfer order."""
+        return self.cache.all_entries()
+
+    def durable_entries(self) -> list[CacheEntry]:
+        """Entries that are durable right now (before any crash recovery)."""
+        return [entry for entry in self.cache.all_entries() if entry.is_durable]
+
+    def drain(self) -> Iterable[Event]:
+        """Generator helper: wait until the writeback cache is fully durable."""
+        yield from self._drain_dirty_upto(self._dirty_watermark())

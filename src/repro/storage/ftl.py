@@ -1,0 +1,198 @@
+"""Log-structured FTL with segment-based in-order crash recovery.
+
+This mirrors the firmware design the paper uses for its UFS prototype
+(Section 3.2): the controller treats the whole device as a single
+log-structured store, appends incoming pages to an *active segment* in the
+order they were transferred, stripes a segment over the flash array when it
+fills, and — after a crash — scans the most recent segment from the beginning
+and discards everything from the first improperly-programmed page onward.
+Because the append order equals the transfer order, that scan yields exactly
+a transfer-order prefix, which is what makes the barrier guarantee hold
+without ordering the program operations themselves.
+
+The FTL also keeps a logical→physical mapping table and performs a simple
+greedy garbage collection when it runs low on free segments, so that the
+write-amplification/occupancy bookkeeping a real FTL does is represented,
+even though the paper's evaluation does not stress GC.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.storage.writeback_cache import CacheEntry
+
+
+@dataclass
+class PageLocation:
+    """Physical location of one logical page (segment id + offset)."""
+
+    segment_id: int
+    offset: int
+
+
+@dataclass
+class SegmentPage:
+    """One slot of a segment: which cache entry was appended and when it
+    finished programming (``None`` while the program is still outstanding)."""
+
+    entry: CacheEntry
+    appended_at: float
+    programmed_at: Optional[float] = None
+
+    @property
+    def is_programmed(self) -> bool:
+        """Whether the page has been programmed to flash."""
+        return self.programmed_at is not None
+
+
+@dataclass
+class Segment:
+    """A fixed-size log segment."""
+
+    segment_id: int
+    capacity: int
+    pages: list[SegmentPage] = field(default_factory=list)
+    sealed: bool = False
+
+    @property
+    def is_full(self) -> bool:
+        """Whether every slot of the segment has been appended."""
+        return len(self.pages) >= self.capacity
+
+    @property
+    def live_pages(self) -> int:
+        """Number of pages whose mapping still points into this segment."""
+        return sum(1 for page in self.pages if not getattr(page, "invalidated", False))
+
+    def programmed_prefix(self) -> list[SegmentPage]:
+        """Pages up to (excluding) the first unprogrammed one, in log order."""
+        prefix = []
+        for page in self.pages:
+            if not page.is_programmed:
+                break
+            prefix.append(page)
+        return prefix
+
+
+class LogStructuredFTL:
+    """Append-only FTL used by the in-order-recovery barrier mode."""
+
+    def __init__(self, segment_pages: int, *, total_segments: int = 4096,
+                 gc_free_threshold: int = 8):
+        if segment_pages < 1:
+            raise ValueError("segments must hold at least one page")
+        self.segment_pages = segment_pages
+        self.total_segments = total_segments
+        self.gc_free_threshold = gc_free_threshold
+        self._segment_ids = itertools.count(1)
+        self.segments: dict[int, Segment] = {}
+        self.segment_order: list[int] = []
+        self.active_segment: Segment = self._open_segment()
+        #: logical block -> location of its most recent durable version
+        self.mapping: dict[object, PageLocation] = {}
+        self.gc_runs = 0
+        self.pages_relocated = 0
+
+    # -- log append ----------------------------------------------------------
+    def _open_segment(self) -> Segment:
+        segment = Segment(segment_id=next(self._segment_ids), capacity=self.segment_pages)
+        self.segments[segment.segment_id] = segment
+        self.segment_order.append(segment.segment_id)
+        return segment
+
+    def append(self, entry: CacheEntry, time: float) -> SegmentPage:
+        """Append one cache entry to the active segment (transfer order)."""
+        if self.active_segment.is_full:
+            self.active_segment.sealed = True
+            self.active_segment = self._open_segment()
+        page = SegmentPage(entry=entry, appended_at=time)
+        segment = self.active_segment
+        segment.pages.append(page)
+        self.mapping[entry.block] = PageLocation(
+            segment_id=segment.segment_id, offset=len(segment.pages) - 1
+        )
+        return page
+
+    def append_batch(self, entries: Iterable[CacheEntry], time: float) -> list[SegmentPage]:
+        """Append several entries preserving their order."""
+        return [self.append(entry, time) for entry in entries]
+
+    def mark_programmed(self, pages: Iterable[SegmentPage], time: float) -> None:
+        """Record that the given log pages finished programming at ``time``."""
+        for page in pages:
+            page.programmed_at = time
+
+    # -- occupancy / garbage collection ---------------------------------------
+    @property
+    def used_segments(self) -> int:
+        """Number of segments currently holding data."""
+        return len(self.segments)
+
+    @property
+    def free_segments(self) -> int:
+        """Segments still available before the device is logically full."""
+        return max(0, self.total_segments - self.used_segments)
+
+    def needs_gc(self) -> bool:
+        """Whether the greedy garbage collector should run."""
+        return self.free_segments <= self.gc_free_threshold
+
+    def run_gc(self, time: float) -> int:
+        """Greedily reclaim the sealed segment with the fewest live pages.
+
+        Returns the number of pages relocated.  Relocated pages are appended
+        to the active segment (programmed immediately, since GC happens
+        inside the device and does not involve the host link).
+        """
+        candidates = [
+            segment
+            for segment_id in self.segment_order
+            if (segment := self.segments.get(segment_id)) is not None
+            and segment.sealed
+            and segment is not self.active_segment
+        ]
+        if not candidates:
+            return 0
+        victim = min(candidates, key=self._live_page_count)
+        relocated = 0
+        for offset, page in enumerate(victim.pages):
+            location = self.mapping.get(page.entry.block)
+            if location and location.segment_id == victim.segment_id and location.offset == offset:
+                new_page = self.append(page.entry, time)
+                new_page.programmed_at = time
+                relocated += 1
+        del self.segments[victim.segment_id]
+        self.segment_order.remove(victim.segment_id)
+        self.gc_runs += 1
+        self.pages_relocated += relocated
+        return relocated
+
+    def _live_page_count(self, segment: Segment) -> int:
+        live = 0
+        for offset, page in enumerate(segment.pages):
+            location = self.mapping.get(page.entry.block)
+            if location and location.segment_id == segment.segment_id and location.offset == offset:
+                live += 1
+        return live
+
+    # -- crash recovery --------------------------------------------------------
+    def recover(self) -> list[CacheEntry]:
+        """Return the durable entries an LFS-style recovery scan would keep.
+
+        Sealed segments whose every page programmed are kept in full; the most
+        recent (active or partially-programmed) segment is kept only up to the
+        first page that had not finished programming, and everything after the
+        first such hole — including later segments, which cannot exist in a
+        correct log — is discarded.
+        """
+        recovered: list[CacheEntry] = []
+        for segment_id in self.segment_order:
+            segment = self.segments[segment_id]
+            prefix = segment.programmed_prefix()
+            recovered.extend(page.entry for page in prefix)
+            if len(prefix) < len(segment.pages):
+                break
+        return recovered

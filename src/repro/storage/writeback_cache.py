@@ -1,0 +1,155 @@
+"""The device writeback cache.
+
+Every page a write command transfers lands here first, tagged with the
+*persist epoch* the controller was in when the page arrived (barrier writes
+close an epoch).  The background flusher and explicit FLUSH/FUA handling
+decide when entries move to flash; the cache records both moments so that
+crash recovery (:mod:`repro.storage.crash`) can reconstruct exactly which
+logical blocks were durable at any point in time.
+
+The cache keeps two views of its contents: the *dirty list* (entries still
+awaiting write-back, maintained in transfer order and pruned as entries
+persist, so that the hot flusher path stays proportional to the number of
+outstanding pages) and the *history* (every entry ever admitted, which the
+crash-recovery and order-verification code read after a run).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.storage.command import WrittenBlock
+
+
+@dataclass
+class CacheEntry:
+    """One logical page resident in (or flushed from) the writeback cache."""
+
+    block: object
+    version: int
+    epoch: int
+    transfer_seq: int
+    transfer_time: float
+    command_id: int
+    durable_time: Optional[float] = None
+    #: Flush group identifier for transactional write-back (all entries of a
+    #: group become durable atomically).
+    flush_group: Optional[int] = None
+
+    @property
+    def is_durable(self) -> bool:
+        """Whether the page has reached the storage surface."""
+        return self.durable_time is not None
+
+
+class WritebackCache:
+    """Volatile page cache inside the storage device."""
+
+    def __init__(self, capacity_pages: int, *, keep_history: bool = True):
+        if capacity_pages < 1:
+            raise ValueError("cache capacity must be at least one page")
+        self.capacity_pages = capacity_pages
+        self.keep_history = keep_history
+        self._history: list[CacheEntry] = []
+        self._dirty: list[CacheEntry] = []
+        self._transfer_seq = itertools.count(1)
+        #: Total pages ever admitted (for statistics).
+        self.total_admitted = 0
+
+    # -- admission ----------------------------------------------------------
+    def admit(
+        self,
+        blocks: Iterable[WrittenBlock],
+        *,
+        epoch: int,
+        time: float,
+        command_id: int,
+        durable_immediately: bool = False,
+    ) -> list[CacheEntry]:
+        """Admit the payload of one transferred write command.
+
+        ``durable_immediately`` models power-loss-protected devices where the
+        cache contents are durable the moment the DMA completes.
+        """
+        admitted = []
+        for block in blocks:
+            entry = CacheEntry(
+                block=block.block,
+                version=block.version,
+                epoch=epoch,
+                transfer_seq=next(self._transfer_seq),
+                transfer_time=time,
+                command_id=command_id,
+                durable_time=time if durable_immediately else None,
+            )
+            if self.keep_history:
+                self._history.append(entry)
+            if not entry.is_durable:
+                self._dirty.append(entry)
+            admitted.append(entry)
+        self.total_admitted += len(admitted)
+        return admitted
+
+    # -- queries --------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._history) if self.keep_history else len(self._prune())
+
+    def _prune(self) -> list[CacheEntry]:
+        """Drop persisted entries from the dirty list (cheap, in order)."""
+        if any(entry.is_durable for entry in self._dirty):
+            self._dirty = [entry for entry in self._dirty if not entry.is_durable]
+        return self._dirty
+
+    @property
+    def resident_pages(self) -> int:
+        """Pages currently occupying cache space (not yet written back)."""
+        return len(self._prune())
+
+    @property
+    def dirty_entries(self) -> list[CacheEntry]:
+        """Entries that have not yet been persisted, oldest transfer first."""
+        return list(self._prune())
+
+    @property
+    def has_dirty(self) -> bool:
+        """Whether any page still awaits write-back."""
+        return bool(self._prune())
+
+    def dirty_epochs(self) -> list[int]:
+        """Distinct epochs that still have unpersisted pages, oldest first."""
+        return sorted({entry.epoch for entry in self._prune()})
+
+    def dirty_in_epoch(self, epoch: int) -> list[CacheEntry]:
+        """Unpersisted entries belonging to ``epoch`` in transfer order."""
+        return [entry for entry in self._prune() if entry.epoch == epoch]
+
+    def entries_for_command(self, command_id: int) -> list[CacheEntry]:
+        """All entries admitted on behalf of one command (history required)."""
+        return [entry for entry in self._history if entry.command_id == command_id]
+
+    def all_entries(self) -> list[CacheEntry]:
+        """Every entry ever admitted (durable or not), in transfer order."""
+        if self.keep_history:
+            return list(self._history)
+        return list(self._prune())
+
+    @property
+    def is_over_capacity(self) -> bool:
+        """Whether the resident dirty pages exceed the cache capacity."""
+        return self.resident_pages > self.capacity_pages
+
+    # -- persistence bookkeeping ----------------------------------------------
+    def mark_durable(self, entries: Iterable[CacheEntry], time: float,
+                     flush_group: Optional[int] = None) -> None:
+        """Record that ``entries`` reached the storage surface at ``time``."""
+        for entry in entries:
+            if entry.is_durable:
+                continue
+            entry.durable_time = time
+            entry.flush_group = flush_group
+
+    def discard_history(self) -> None:
+        """Forget persisted history (used by very long throughput runs)."""
+        self._history = [entry for entry in self._history if not entry.is_durable]

@@ -1,0 +1,222 @@
+"""Unit tests for the IO schedulers, including epoch barrier reassignment."""
+
+import pytest
+
+from repro.block.request import RequestFlag, flush_request, write_request
+from repro.block.scheduler import (
+    CFQScheduler,
+    DeadlineScheduler,
+    EpochIOScheduler,
+    NoopScheduler,
+    make_scheduler,
+)
+
+
+def drain(scheduler):
+    out = []
+    while True:
+        request = scheduler.next_request()
+        if request is None:
+            return out
+        out.append(request)
+
+
+class TestNoop:
+    def test_fifo_order(self):
+        scheduler = NoopScheduler()
+        requests = [write_request(lba * 100) for lba in range(5)]
+        for request in requests:
+            scheduler.add_request(request)
+        assert drain(scheduler) == requests
+
+    def test_back_merge_contiguous_writes(self):
+        scheduler = NoopScheduler(max_merge_pages=8)
+        first = write_request(0, 2)
+        second = write_request(2, 2)
+        third = write_request(4, 2)
+        for request in (first, second, third):
+            scheduler.add_request(request)
+        dispatched = drain(scheduler)
+        assert dispatched == [first]
+        assert first.num_pages == 6
+        assert first.merged_requests == [second, third]
+        assert scheduler.requests_merged == 2
+
+    def test_merge_respects_max_pages(self):
+        scheduler = NoopScheduler(max_merge_pages=3)
+        first = write_request(0, 2)
+        second = write_request(2, 2)
+        scheduler.add_request(first)
+        scheduler.add_request(second)
+        assert len(scheduler) == 2
+
+    def test_barrier_request_not_merged(self):
+        scheduler = NoopScheduler()
+        first = write_request(0, 1)
+        barrier = write_request(1, 1, flags=RequestFlag.ORDERED | RequestFlag.BARRIER)
+        scheduler.add_request(first)
+        scheduler.add_request(barrier)
+        assert len(scheduler) == 2
+
+
+class TestDeadline:
+    def test_dispatch_in_lba_order(self):
+        scheduler = DeadlineScheduler()
+        lbas = [500, 100, 300, 200, 400]
+        for lba in lbas:
+            scheduler.add_request(write_request(lba))
+        dispatched = [request.lba for request in drain(scheduler)]
+        assert dispatched == sorted(lbas)
+
+    def test_deadline_forces_oldest_request(self):
+        scheduler = DeadlineScheduler(deadline_requests=2)
+        old = write_request(1000)
+        scheduler.add_request(old)
+        for lba in range(5):
+            scheduler.add_request(write_request(lba * 10))
+        dispatched = drain(scheduler)
+        # The old request does not wait until the very end despite its LBA.
+        assert dispatched.index(old) < len(dispatched) - 1
+
+    def test_adjacent_requests_merge(self):
+        scheduler = DeadlineScheduler()
+        first = write_request(10, 2)
+        second = write_request(12, 2)
+        scheduler.add_request(first)
+        scheduler.add_request(second)
+        assert len(scheduler) == 1
+        assert first.num_pages == 4
+
+
+class TestCFQ:
+    def test_round_robin_between_issuers(self):
+        scheduler = CFQScheduler(quantum=1)
+        a_requests = [write_request(lba, issuer="a") for lba in (0, 10)]
+        b_requests = [write_request(lba, issuer="b") for lba in (100, 110)]
+        for request in a_requests + b_requests:
+            scheduler.add_request(request)
+        issuers = [request.issuer for request in drain(scheduler)]
+        assert issuers == ["a", "b", "a", "b"]
+
+    def test_quantum_batches_one_issuer(self):
+        scheduler = CFQScheduler(quantum=2)
+        for lba in range(4):
+            scheduler.add_request(write_request(lba * 10, issuer="a"))
+        for lba in range(2):
+            scheduler.add_request(write_request(1000 + lba * 10, issuer="b"))
+        issuers = [request.issuer for request in drain(scheduler)]
+        assert issuers[:2] == ["a", "a"]
+        assert "b" in issuers[2:4]
+
+    def test_per_issuer_merge(self):
+        scheduler = CFQScheduler()
+        first = write_request(0, 1, issuer="a")
+        second = write_request(1, 1, issuer="a")
+        scheduler.add_request(first)
+        scheduler.add_request(second)
+        assert len(scheduler) == 1
+        assert scheduler.issuers == ["a"]
+
+
+class TestEpochScheduler:
+    def test_barrier_reassigned_to_last_ordered_request(self):
+        # Mirrors Fig. 5: w1, w2 ordered; w3 orderless; w4 ordered barrier;
+        # w5 orderless; w6 arrives while the queue is blocked.
+        scheduler = EpochIOScheduler(DeadlineScheduler())
+        w1 = write_request(500, flags=RequestFlag.ORDERED)
+        w2 = write_request(400, flags=RequestFlag.ORDERED)
+        w3 = write_request(300)
+        w4 = write_request(100, flags=RequestFlag.ORDERED | RequestFlag.BARRIER)
+        w5 = write_request(200)
+        for request in (w1, w2, w3, w5, w4):
+            scheduler.add_request(request)
+        assert scheduler.is_blocked
+        w6 = write_request(50)
+        scheduler.add_request(w6)
+        assert scheduler.staged_count == 1
+
+        dispatched = drain(scheduler)
+        ordered_dispatched = [request for request in dispatched if request.is_ordered]
+        last_ordered = ordered_dispatched[-1]
+        # The barrier left the queue on the *last* order-preserving request,
+        # not necessarily on w4.
+        assert last_ordered.is_barrier
+        assert sum(1 for request in dispatched if request.is_barrier) == 1
+        assert w4 in dispatched and w6 in dispatched
+        assert not scheduler.is_blocked
+
+    def test_epoch_boundary_not_crossed(self):
+        scheduler = EpochIOScheduler(NoopScheduler())
+        epoch1 = [write_request(lba, flags=RequestFlag.ORDERED) for lba in (0, 10)]
+        barrier1 = write_request(20, flags=RequestFlag.ORDERED | RequestFlag.BARRIER)
+        epoch2 = [write_request(lba, flags=RequestFlag.ORDERED) for lba in (100, 110)]
+        barrier2 = write_request(120, flags=RequestFlag.ORDERED | RequestFlag.BARRIER)
+        for request in epoch1 + [barrier1] + epoch2 + [barrier2]:
+            scheduler.add_request(request)
+        dispatched = drain(scheduler)
+        positions = {request.request_id: index for index, request in enumerate(dispatched)}
+        for early in epoch1 + [barrier1]:
+            for late in epoch2 + [barrier2]:
+                assert positions[early.request_id] < positions[late.request_id]
+
+    def test_orderless_requests_cross_epochs_freely(self):
+        scheduler = EpochIOScheduler(NoopScheduler())
+        ordered = write_request(0, flags=RequestFlag.ORDERED | RequestFlag.BARRIER)
+        orderless = write_request(100)
+        scheduler.add_request(orderless)
+        scheduler.add_request(ordered)
+        dispatched = drain(scheduler)
+        assert set(dispatched) == {ordered, orderless}
+
+    def test_staged_barrier_starts_next_epoch(self):
+        scheduler = EpochIOScheduler(NoopScheduler())
+        first_barrier = write_request(0, flags=RequestFlag.ORDERED | RequestFlag.BARRIER)
+        scheduler.add_request(first_barrier)
+        assert scheduler.is_blocked
+        second_barrier = write_request(10, flags=RequestFlag.ORDERED | RequestFlag.BARRIER)
+        trailing = write_request(20, flags=RequestFlag.ORDERED)
+        scheduler.add_request(second_barrier)
+        scheduler.add_request(trailing)
+        assert scheduler.staged_count == 2
+
+        first = scheduler.next_request()
+        assert first is first_barrier and first.is_barrier
+        # After the first epoch drained the staged barrier blocks the queue again.
+        assert scheduler.is_blocked
+        assert scheduler.staged_count == 1
+        remaining = drain(scheduler)
+        assert remaining[0] is second_barrier and remaining[0].is_barrier
+        # The trailing request opens the next (still undelimited) epoch: it
+        # keeps its ORDERED attribute but does not become a barrier.
+        assert remaining[1] is trailing and not remaining[1].is_barrier
+
+    def test_epoch_counters(self):
+        scheduler = EpochIOScheduler(NoopScheduler())
+        for _ in range(3):
+            scheduler.add_request(
+                write_request(0, flags=RequestFlag.ORDERED | RequestFlag.BARRIER)
+            )
+            drain(scheduler)
+        assert scheduler.epochs_dispatched == 3
+
+    def test_empty_scheduler_returns_none(self):
+        scheduler = EpochIOScheduler(NoopScheduler())
+        assert scheduler.next_request() is None
+        assert not scheduler.has_pending
+
+
+class TestFactory:
+    def test_make_scheduler_names(self):
+        assert isinstance(make_scheduler("noop"), NoopScheduler)
+        assert isinstance(make_scheduler("cfq"), CFQScheduler)
+        assert isinstance(make_scheduler("deadline"), DeadlineScheduler)
+        wrapped = make_scheduler("noop", epoch=True)
+        assert isinstance(wrapped, EpochIOScheduler)
+        assert isinstance(wrapped.underlying, NoopScheduler)
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(KeyError):
+            make_scheduler("bfq")
+
+    def test_flush_request_has_no_pages(self):
+        assert flush_request().num_pages == 0

@@ -1,0 +1,247 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.simulation import (
+    MSEC,
+    Event,
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    done = []
+
+    def proc():
+        yield sim.timeout(10)
+        done.append(sim.now)
+        yield sim.timeout(5)
+        done.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert done == [10, 15]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1)
+
+
+def test_process_return_value_propagates():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(3)
+        return 42
+
+    def parent():
+        value = yield sim.process(child())
+        return value * 2
+
+    proc = sim.process(parent())
+    sim.run()
+    assert proc.triggered
+    assert proc.value == 84
+
+
+def test_event_succeed_wakes_waiter():
+    sim = Simulator()
+    gate = sim.event("gate")
+    log = []
+
+    def waiter():
+        value = yield gate
+        log.append((sim.now, value))
+
+    def opener():
+        yield sim.timeout(7)
+        gate.succeed("open")
+
+    sim.process(waiter())
+    sim.process(opener())
+    sim.run()
+    assert log == [(7, "open")]
+
+
+def test_event_cannot_trigger_twice():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_event_value_before_trigger_raises():
+    sim = Simulator()
+    event = sim.event()
+    with pytest.raises(SimulationError):
+        _ = event.value
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator(propagate_process_errors=False)
+    gate = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield gate
+        except ValueError as error:
+            caught.append(str(error))
+
+    sim.process(waiter())
+    gate.fail(ValueError("boom"))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    results = []
+
+    def proc():
+        timeouts = [sim.timeout(delay, value=delay) for delay in (5, 1, 9)]
+        values = yield sim.all_of(timeouts)
+        results.append((sim.now, values))
+
+    sim.process(proc())
+    sim.run()
+    assert results == [(9, [5, 1, 9])]
+
+
+def test_any_of_fires_on_first_event():
+    sim = Simulator()
+    results = []
+
+    def proc():
+        value = yield sim.any_of([sim.timeout(5, "slow"), sim.timeout(1, "fast")])
+        results.append((sim.now, value))
+
+    sim.process(proc())
+    sim.run()
+    assert results == [(1, "fast")]
+
+
+def test_context_switches_counted_only_when_blocking():
+    sim = Simulator()
+
+    def proc():
+        # Already-triggered event: no context switch.
+        done = sim.event()
+        done.succeed()
+        yield done
+        # Blocking timeout: one context switch.
+        yield sim.timeout(1)
+        yield sim.timeout(1)
+
+    process = sim.process(proc())
+    sim.run()
+    assert process.context_switches == 2
+
+
+def test_context_switch_cost_delays_resumption():
+    sim = Simulator(context_switch_cost=100)
+    times = []
+
+    def proc():
+        yield sim.timeout(10)
+        times.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert times == [110]
+
+
+def test_interrupt_stops_process():
+    sim = Simulator()
+    progress = []
+
+    def victim():
+        progress.append("start")
+        yield sim.timeout(1 * MSEC)
+        progress.append("never")
+
+    def killer(process):
+        yield sim.timeout(10)
+        process.interrupt("stop")
+
+    victim_proc = sim.process(victim())
+    sim.process(killer(victim_proc))
+    sim.run()
+    assert progress == ["start"]
+    assert victim_proc.triggered
+
+
+def test_run_until_complete_detects_deadlock():
+    sim = Simulator()
+    never = sim.event()
+    with pytest.raises(SimulationError):
+        sim.run_until_complete(never)
+
+
+def test_run_until_respects_limit():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(100)
+
+    sim.process(proc())
+    sim.run(until=50)
+    assert sim.now == 50
+
+
+def test_process_requires_generator():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_yield_non_event_raises():
+    sim = Simulator()
+
+    def proc():
+        yield 5  # type: ignore[misc]
+
+    sim.process(proc())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_process_error_propagates_by_default():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1)
+        raise RuntimeError("kaboom")
+
+    sim.process(proc())
+    with pytest.raises(RuntimeError):
+        sim.run()
+
+
+def test_many_sequential_wakeups_do_not_recurse():
+    sim = Simulator()
+    count = 10_000
+    hops = []
+
+    def hopper():
+        for _ in range(count):
+            yield sim.timeout(0)
+        hops.append(sim.now)
+
+    sim.process(hopper())
+    sim.run()
+    assert hops == [0]
+
+
+def test_event_repr_mentions_state():
+    sim = Simulator()
+    event = Event(sim, name="probe")
+    assert "pending" in repr(event)
+    event.succeed()
+    assert "triggered" in repr(event)

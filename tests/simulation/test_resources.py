@@ -1,0 +1,166 @@
+"""Unit tests for simulation synchronisation primitives."""
+
+import pytest
+
+from repro.simulation import Condition, Mutex, Semaphore, SimulationError, Simulator, Store
+
+
+def test_mutex_grants_in_fifo_order():
+    sim = Simulator()
+    order = []
+
+    def worker(name, mutex, hold):
+        yield mutex.acquire()
+        order.append((sim.now, name, "acquired"))
+        yield sim.timeout(hold)
+        mutex.release()
+
+    mutex = Mutex(sim)
+    sim.process(worker("a", mutex, 10))
+    sim.process(worker("b", mutex, 10))
+    sim.process(worker("c", mutex, 10))
+    sim.run()
+    assert [entry[1] for entry in order] == ["a", "b", "c"]
+    assert [entry[0] for entry in order] == [0, 10, 20]
+
+
+def test_mutex_release_without_hold_raises():
+    sim = Simulator()
+    mutex = Mutex(sim)
+    with pytest.raises(SimulationError):
+        mutex.release()
+
+
+def test_mutex_holding_releases_on_error():
+    sim = Simulator(propagate_process_errors=False)
+    mutex = Mutex(sim)
+
+    def body():
+        yield sim.timeout(1)
+        raise ValueError("inner failure")
+
+    def proc():
+        yield from mutex.holding().run(body)
+
+    process = sim.process(proc())
+    sim.run()
+    assert process.triggered
+    assert not mutex.locked
+
+
+def test_semaphore_limits_concurrency():
+    sim = Simulator()
+    active = []
+    peak = []
+
+    def worker(sem):
+        yield sem.acquire()
+        active.append(1)
+        peak.append(len(active))
+        yield sim.timeout(5)
+        active.pop()
+        sem.release()
+
+    sem = Semaphore(sim, capacity=2)
+    for _ in range(6):
+        sim.process(worker(sem))
+    sim.run()
+    assert max(peak) == 2
+    assert sem.available == 2
+
+
+def test_semaphore_over_release_raises():
+    sim = Simulator()
+    sem = Semaphore(sim, capacity=1)
+    with pytest.raises(SimulationError):
+        sem.release()
+
+
+def test_store_fifo_ordering():
+    sim = Simulator()
+    received = []
+
+    def producer(store):
+        for item in range(5):
+            yield store.put(item)
+            yield sim.timeout(1)
+
+    def consumer(store):
+        for _ in range(5):
+            item = yield store.get()
+            received.append(item)
+
+    store = Store(sim)
+    sim.process(producer(store))
+    sim.process(consumer(store))
+    sim.run()
+    assert received == [0, 1, 2, 3, 4]
+
+
+def test_store_capacity_blocks_putter():
+    sim = Simulator()
+    timeline = []
+
+    def producer(store):
+        for item in range(3):
+            yield store.put(item)
+            timeline.append(("put", item, sim.now))
+
+    def consumer(store):
+        yield sim.timeout(10)
+        for _ in range(3):
+            item = yield store.get()
+            timeline.append(("get", item, sim.now))
+
+    store = Store(sim, capacity=1)
+    sim.process(producer(store))
+    sim.process(consumer(store))
+    sim.run()
+    puts = [entry for entry in timeline if entry[0] == "put"]
+    assert puts[0][2] == 0
+    assert puts[1][2] == 10  # blocked until the consumer drained the store
+    assert [entry[1] for entry in timeline if entry[0] == "get"] == [0, 1, 2]
+
+
+def test_condition_notify_all_wakes_every_waiter():
+    sim = Simulator()
+    woken = []
+
+    def waiter(cond, name):
+        yield cond.wait()
+        woken.append((name, sim.now))
+
+    def notifier(cond):
+        yield sim.timeout(5)
+        cond.notify_all()
+
+    cond = Condition(sim)
+    sim.process(waiter(cond, "x"))
+    sim.process(waiter(cond, "y"))
+    sim.process(notifier(cond))
+    sim.run()
+    assert sorted(name for name, _ in woken) == ["x", "y"]
+    assert all(time == 5 for _, time in woken)
+
+
+def test_condition_wait_for_predicate():
+    sim = Simulator()
+    state = {"ready": False}
+    finished = []
+
+    def waiter(cond):
+        yield from cond.wait_for(lambda: state["ready"])
+        finished.append(sim.now)
+
+    def setter(cond):
+        yield sim.timeout(3)
+        cond.notify_all()  # spurious: predicate still false
+        yield sim.timeout(3)
+        state["ready"] = True
+        cond.notify_all()
+
+    cond = Condition(sim)
+    sim.process(waiter(cond))
+    sim.process(setter(cond))
+    sim.run()
+    assert finished == [6]

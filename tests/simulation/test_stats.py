@@ -1,0 +1,84 @@
+"""Unit tests for the statistics collectors."""
+
+import pytest
+
+from repro.simulation import LatencyRecorder, TimeSeries, TimeWeightedStat, percentile
+
+
+def test_percentile_matches_linear_interpolation():
+    samples = [10, 20, 30, 40]
+    assert percentile(samples, 0.0) == 10
+    assert percentile(samples, 1.0) == 40
+    assert percentile(samples, 0.5) == 25
+
+
+def test_percentile_single_sample():
+    assert percentile([7.0], 0.999) == 7.0
+
+
+def test_percentile_rejects_bad_input():
+    with pytest.raises(ValueError):
+        percentile([], 0.5)
+    with pytest.raises(ValueError):
+        percentile([1.0], 1.5)
+
+
+def test_latency_recorder_summary_fields():
+    recorder = LatencyRecorder("fsync")
+    recorder.extend(float(value) for value in range(1, 101))
+    summary = recorder.summary()
+    assert summary.count == 100
+    assert summary.mean == pytest.approx(50.5)
+    assert summary.median == pytest.approx(50.5)
+    assert summary.p99 > summary.median
+    assert summary.p9999 >= summary.p999 >= summary.p99
+    assert summary.minimum == 1.0
+    assert summary.maximum == 100.0
+    assert set(summary.as_dict()) == {
+        "count", "mean", "median", "p99", "p99.9", "p99.99", "min", "max",
+    }
+
+
+def test_latency_recorder_rejects_negative():
+    recorder = LatencyRecorder()
+    with pytest.raises(ValueError):
+        recorder.record(-1.0)
+
+
+def test_latency_recorder_empty_summary_raises():
+    with pytest.raises(ValueError):
+        LatencyRecorder().summary()
+
+
+def test_time_series_time_weighted_average():
+    series = TimeSeries("qd")
+    series.record(0, 0)
+    series.record(10, 4)
+    series.record(20, 8)
+    # signal: 0 for 10us, 4 for 10us, then 8 until `until`
+    assert series.time_weighted_average(until=20) == pytest.approx(2.0)
+    assert series.time_weighted_average(until=40) == pytest.approx((0 * 10 + 4 * 10 + 8 * 20) / 40)
+    assert series.maximum == 8
+
+
+def test_time_series_rejects_out_of_order():
+    series = TimeSeries()
+    series.record(5, 1)
+    with pytest.raises(ValueError):
+        series.record(4, 1)
+
+
+def test_time_weighted_stat_tracks_mean_and_peak():
+    stat = TimeWeightedStat()
+    stat.update(10, 2)   # value 0 held for 10
+    stat.update(20, 6)   # value 2 held for 10
+    assert stat.peak == 6
+    assert stat.current == 6
+    assert stat.mean(now=30) == pytest.approx((0 * 10 + 2 * 10 + 6 * 10) / 30)
+
+
+def test_time_weighted_stat_rejects_backwards_time():
+    stat = TimeWeightedStat()
+    stat.update(5, 1)
+    with pytest.raises(ValueError):
+        stat.update(4, 2)

@@ -1,0 +1,69 @@
+"""Unit tests for device profiles."""
+
+import pytest
+
+from repro.storage import DEVICE_PROFILES, FIG1_DEVICES, DeviceProfile, get_profile
+
+
+def test_evaluation_profiles_exist():
+    assert set(DEVICE_PROFILES) == {"ufs", "plain-ssd", "supercap-ssd"}
+
+
+def test_fig1_lineup_matches_paper_labels():
+    assert set(FIG1_DEVICES) == {"A", "B", "C", "D", "E", "F", "G", "HDD"}
+
+
+def test_get_profile_accepts_all_aliases():
+    assert get_profile("ufs").name == "ufs"
+    assert get_profile("G").channels == 32
+    assert get_profile("plain-ssd") is DEVICE_PROFILES["plain-ssd"]
+    assert get_profile("fig1-HDD").interface == "HDD"
+
+
+def test_get_profile_unknown_raises():
+    with pytest.raises(KeyError):
+        get_profile("floppy")
+
+
+def test_supercap_profile_has_plp_and_no_barrier_penalty():
+    profile = get_profile("supercap-ssd")
+    assert profile.has_plp
+    assert profile.barrier_overhead == 0.0
+
+
+def test_plain_ssd_has_paper_barrier_penalty():
+    assert get_profile("plain-ssd").barrier_overhead == pytest.approx(0.05)
+
+
+def test_parallelism_grows_with_channels():
+    ufs = get_profile("ufs")
+    array = get_profile("G")
+    assert array.parallelism > ufs.parallelism
+    assert array.program_bandwidth_pages_per_usec > ufs.program_bandwidth_pages_per_usec
+
+
+def test_profile_validation_rejects_bad_values():
+    with pytest.raises(ValueError):
+        DeviceProfile(name="bad", interface="SATA", queue_depth=0, channels=1)
+    with pytest.raises(ValueError):
+        DeviceProfile(name="bad", interface="SATA", queue_depth=8, channels=0)
+    with pytest.raises(ValueError):
+        DeviceProfile(
+            name="bad", interface="SATA", queue_depth=8, channels=1,
+            has_plp=True, barrier_overhead=0.05,
+        )
+
+
+def test_with_overrides_returns_modified_copy():
+    base = get_profile("plain-ssd")
+    modified = base.with_overrides(queue_depth=8)
+    assert modified.queue_depth == 8
+    assert base.queue_depth == 32
+    assert modified.channels == base.channels
+
+
+def test_hdd_profile_is_seek_bound():
+    hdd = get_profile("HDD")
+    assert hdd.seek_time > 0
+    assert not hdd.supports_barrier
+    assert hdd.program_bandwidth_pages_per_usec < get_profile("plain-ssd").program_bandwidth_pages_per_usec
