@@ -1,0 +1,40 @@
+"""Engine microbenchmark — events/sec, wake-ups/sec and fsync ops/sec.
+
+Unlike the ``bench_fig*`` modules (which regenerate the paper's figures),
+this benchmark targets the simulation engine itself: the rates it reports
+are the multipliers on the whole evaluation suite.  The same probes back the
+``BENCH_engine.json`` perf trajectory via ``repro.analysis.perfbench``; see
+docs/PERFORMANCE.md.
+"""
+
+from repro.analysis import perfbench
+
+
+def test_engine_events_per_sec(benchmark, capsys):
+    """Bare timer events through the heap (schedule + pop + trigger)."""
+    rate = benchmark.pedantic(
+        perfbench.engine_events_rate, args=(100_000,), rounds=3, iterations=1
+    )
+    with capsys.disabled():
+        print(f"\nengine events/sec: {rate:,.0f}")
+    assert rate > 0
+
+
+def test_engine_wakeups_per_sec(benchmark, capsys):
+    """Process block/wakeup/resume cycles per second."""
+    rate = benchmark.pedantic(
+        perfbench.process_wakeup_rate, args=(50_000,), rounds=3, iterations=1
+    )
+    with capsys.disabled():
+        print(f"\nprocess wake-ups/sec: {rate:,.0f}")
+    assert rate > 0
+
+
+def test_bfs_fsync_ops_per_sec(benchmark, capsys):
+    """End-to-end fsync() rate on the standard_config("BFS-DR") stack."""
+    rate = benchmark.pedantic(
+        perfbench.fsync_rate, args=(200,), rounds=3, iterations=1
+    )
+    with capsys.disabled():
+        print(f"\nBFS-DR fsync ops/sec: {rate:,.0f}")
+    assert rate > 0

@@ -1,0 +1,217 @@
+"""Engine performance tracking (``BENCH_engine.json``).
+
+The discrete-event loop in :mod:`repro.simulation.engine` multiplies into
+every figure and table of the reproduction, so its throughput is tracked as
+a first-class artifact.  This module measures four rates:
+
+* ``events_per_sec`` — bare timer events through the heap (little process
+  involvement): the cost of schedule + pop + trigger.
+* ``wakeups_per_sec`` — a process blocking on a pending timeout per
+  iteration: the cost of the block/wakeup/resume cycle.
+* ``fsync_ops_per_sec`` — ``fsync()`` calls per second on the full
+  ``standard_config("BFS-DR")`` stack: the end-to-end figure-regeneration
+  rate.
+* ``table1_wallclock_sec`` — wall-clock seconds to regenerate Table 1.
+
+``python -m repro.analysis.perfbench`` appends one record to
+``BENCH_engine.json`` so the perf trajectory is recorded PR over PR; see
+docs/PERFORMANCE.md for how to read it.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.analysis.measure import measure_sync_latency
+from repro.core.stack import build_stack, standard_config
+from repro.simulation.engine import Simulator
+
+#: Default location of the perf-trajectory record, at the repository root.
+DEFAULT_OUTPUT = "BENCH_engine.json"
+
+
+def engine_events_rate(num_events: int = 200_000) -> float:
+    """Timer events per second through the event loop."""
+    sim = Simulator()
+
+    def clock():
+        timeout = sim.timeout
+        for _ in range(num_events):
+            yield timeout(1)
+
+    sim.process(clock())
+    start = time.perf_counter()
+    sim.run()
+    return num_events / (time.perf_counter() - start)
+
+
+def process_wakeup_rate(num_wakeups: int = 100_000) -> float:
+    """Block/wakeup/resume cycles per second (two processes ping-ponging)."""
+    sim = Simulator()
+    half = num_wakeups // 2
+    mailbox = {"ping": sim.event(), "pong": sim.event()}
+
+    def pinger():
+        for _ in range(half):
+            mailbox["ping"].succeed()
+            pong = mailbox["pong"] = sim.event()
+            yield pong
+
+    def ponger():
+        for _ in range(half):
+            ping = mailbox["ping"]
+            if not ping.triggered:
+                yield ping
+            mailbox["ping"] = sim.event()
+            mailbox["pong"].succeed()
+            yield sim.timeout(0)
+
+    sim.process(pinger())
+    sim.process(ponger())
+    start = time.perf_counter()
+    sim.run()
+    return num_wakeups / (time.perf_counter() - start)
+
+
+def fsync_rate(calls: int = 400, config: str = "BFS-DR") -> float:
+    """``fsync()`` operations per second on the full simulated stack."""
+    stack = build_stack(standard_config(config))
+    start = time.perf_counter()
+    measure_sync_latency(stack, calls=calls, sync_call="fsync", allocating=True)
+    return calls / (time.perf_counter() - start)
+
+
+def table1_wallclock(scale: float = 1.0) -> float:
+    """Wall-clock seconds to regenerate Table 1 at ``scale``."""
+    from repro.experiments import table1_fsync_latency
+
+    start = time.perf_counter()
+    table1_fsync_latency.run(scale)
+    return time.perf_counter() - start
+
+
+def _best(fn: Callable[[], float], repeats: int, *, minimize: bool = False) -> float:
+    samples = [fn() for _ in range(repeats)]
+    return min(samples) if minimize else max(samples)
+
+
+def collect_metrics(*, repeats: int = 3, quick: bool = False) -> dict[str, float]:
+    """Run every microbenchmark and return best-of-``repeats`` rates."""
+    events = 50_000 if quick else 200_000
+    wakeups = 25_000 if quick else 100_000
+    calls = 100 if quick else 400
+    scale = 0.25 if quick else 1.0
+    return {
+        "events_per_sec": round(_best(lambda: engine_events_rate(events), repeats), 1),
+        "wakeups_per_sec": round(
+            _best(lambda: process_wakeup_rate(wakeups), repeats), 1
+        ),
+        "fsync_ops_per_sec": round(_best(lambda: fsync_rate(calls), repeats), 1),
+        "table1_wallclock_sec": round(
+            _best(lambda: table1_wallclock(scale), repeats, minimize=True), 4
+        ),
+        "table1_scale": scale,
+    }
+
+
+def _git_revision() -> str:
+    """Short revision, with a ``-dirty`` suffix for uncommitted trees.
+
+    The suffix matters: a record benchmarked from an uncommitted tree must
+    not be attributed to its (unmodified) parent commit.
+    """
+    try:
+        revision = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+        if not revision:
+            return "unknown"
+        status = subprocess.run(
+            ["git", "status", "--porcelain", "-uno"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+        return f"{revision}-dirty" if status else revision
+    except Exception:
+        return "unknown"
+
+
+def record(
+    path: str | Path = DEFAULT_OUTPUT,
+    *,
+    label: str = "",
+    repeats: int = 3,
+    quick: bool = False,
+    extra: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Benchmark and append one record to the trajectory file at ``path``.
+
+    The file holds ``{"history": [record, ...]}``; each record carries the
+    metrics plus enough provenance (git revision, python, timestamp) to read
+    the trajectory later.  Returns the appended record.
+    """
+    path = Path(path)
+    entry: dict[str, Any] = {
+        "label": label or _git_revision(),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "git": _git_revision(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "metrics": collect_metrics(repeats=repeats, quick=quick),
+    }
+    if extra:
+        entry.update(extra)
+    document = {"history": []}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            loaded = None  # corrupt record: start a fresh history
+        if isinstance(loaded, dict) and isinstance(loaded.get("history"), list):
+            document = loaded
+    document["history"].append(entry)
+    path.write_text(json.dumps(document, indent=1) + "\n")
+    return entry
+
+
+def main(argv: list[str] | None = None) -> None:
+    """CLI: ``python -m repro.analysis.perfbench [--output FILE]``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis.perfbench",
+        description="Benchmark the simulation engine and record the result.",
+    )
+    parser.add_argument("--output", default=DEFAULT_OUTPUT, help="trajectory file")
+    parser.add_argument("--label", default="", help="record label (default: git rev)")
+    parser.add_argument("--repeats", type=int, default=3, help="best-of-N repeats")
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller iteration counts (for CI)"
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="print metrics without recording"
+    )
+    args = parser.parse_args(argv)
+    if args.no_write:
+        metrics = collect_metrics(repeats=args.repeats, quick=args.quick)
+        print(json.dumps(metrics, indent=1))
+        return
+    entry = record(
+        args.output, label=args.label, repeats=args.repeats, quick=args.quick
+    )
+    print(json.dumps(entry, indent=1))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

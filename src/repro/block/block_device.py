@@ -217,20 +217,10 @@ class BlockDevice:
             self._wire_completion(request, command)
 
     def _wire_completion(self, request: BlockRequest, command) -> None:
-        def _on_transfer(_event: Event) -> None:
-            request.transferred.succeed(request)
-            for merged in request.merged_requests:
-                if merged.transferred is not None and not merged.transferred.triggered:
-                    merged.transferred.succeed(merged)
-
-        def _on_complete(_event: Event) -> None:
-            request.completed.succeed(request)
-            for merged in request.merged_requests:
-                if merged.completed is not None and not merged.completed.triggered:
-                    merged.completed.succeed(merged)
-
-        command.transferred.add_callback(_on_transfer)
-        command.completed.add_callback(_on_complete)
+        # Bound methods instead of per-request closures: the dispatcher used
+        # to build two closure cells for every dispatched command.
+        command.transferred.add_callback(request.relay_transferred)
+        command.completed.add_callback(request.relay_completed)
 
     # ------------------------------------------------------------------ queries
     @property

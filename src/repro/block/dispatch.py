@@ -32,13 +32,27 @@ class DispatchPolicy(enum.Enum):
     ORDER_PRESERVING = "order-preserving"
 
 
+# Write-command flags precomputed for every FUA/FLUSH/BARRIER combination,
+# indexed by the raw bit mask, so the dispatcher performs no Flag arithmetic
+# per request (Flag.__or__ allocates).
+_FLAG_TABLE = {
+    bits: CommandFlag(bits)
+    for bits in range(
+        (CommandFlag.FUA | CommandFlag.FLUSH | CommandFlag.BARRIER).value + 1
+    )
+}
+_FUA_BIT = CommandFlag.FUA.value
+_FLUSH_BIT = CommandFlag.FLUSH.value
+_BARRIER_BIT = CommandFlag.BARRIER.value
+
+
 def request_to_command(request: BlockRequest, policy: DispatchPolicy) -> Command:
     """Build the device command for ``request`` under ``policy``."""
-    if request.op is RequestOp.FLUSH:
-        command = flush_command(tag=request.request_id)
-        return command
+    op = request.op
+    if op is RequestOp.FLUSH:
+        return flush_command(tag=request.request_id)
 
-    if request.op is RequestOp.READ:
+    if op is RequestOp.READ:
         return Command(
             kind=CommandKind.READ,
             lba=request.lba,
@@ -46,23 +60,23 @@ def request_to_command(request: BlockRequest, policy: DispatchPolicy) -> Command
             tag=request.request_id,
         )
 
-    flags = CommandFlag.NONE
+    bits = 0
     priority = CommandPriority.SIMPLE
     if request.wants_fua:
-        flags |= CommandFlag.FUA
+        bits |= _FUA_BIT
     if request.wants_flush:
-        flags |= CommandFlag.FLUSH
+        bits |= _FLUSH_BIT
     if policy is DispatchPolicy.ORDER_PRESERVING and request.is_barrier:
         # The barrier write is both flagged for the device cache (persist
         # order) and given the ``ordered`` SCSI priority (transfer order).
-        flags |= CommandFlag.BARRIER
+        bits |= _BARRIER_BIT
         priority = CommandPriority.ORDERED
 
     return Command(
         kind=CommandKind.WRITE,
         lba=request.lba,
         num_pages=request.num_pages,
-        flags=flags,
+        flags=_FLAG_TABLE[bits],
         priority=priority,
         payload=tuple(request.payload),
         tag=request.request_id,

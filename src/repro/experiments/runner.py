@@ -1,4 +1,13 @@
-"""Run every experiment and print the tables (see EXPERIMENTS.md)."""
+"""Run every experiment and print the tables (see EXPERIMENTS.md).
+
+The experiments are mutually independent — each builds its own simulator and
+IO stacks — so :func:`run_all` can fan them out across worker processes with
+``jobs=N`` (or ``--jobs N`` on the command line).  Experiments must draw all
+randomness from explicitly seeded ``random.Random`` instances (they do; see
+e.g. ``blocklevel.run_scenario``), which is what makes the tables identical
+whether the suite runs serially or in parallel;
+``tests/experiments/test_determinism.py`` pins that property.
+"""
 
 from __future__ import annotations
 
@@ -46,18 +55,66 @@ def run_experiment(name: str, scale: float = 1.0) -> ExperimentResult:
     return experiment(scale)
 
 
-def run_all(scale: float = 1.0, *, names: list[str] | None = None) -> list[ExperimentResult]:
-    """Run every experiment (or the named subset) and return the tables."""
+def run_all(
+    scale: float = 1.0,
+    *,
+    names: list[str] | None = None,
+    jobs: int = 1,
+) -> list[ExperimentResult]:
+    """Run every experiment (or the named subset) and return the tables.
+
+    ``jobs`` > 1 distributes the experiments over that many worker
+    processes; results are returned in the requested order either way.
+    """
     selected = names if names is not None else list(ALL_EXPERIMENTS)
-    return [run_experiment(name, scale) for name in selected]
+    unknown = [name for name in selected if name not in ALL_EXPERIMENTS]
+    if unknown:
+        raise KeyError(
+            f"unknown experiments {unknown!r}; choose from {sorted(ALL_EXPERIMENTS)}"
+        )
+    if jobs <= 1 or len(selected) <= 1:
+        return [run_experiment(name, scale) for name in selected]
+
+    from concurrent.futures import ProcessPoolExecutor
+
+    workers = min(jobs, len(selected))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        # map() preserves input order, so the tables come back in the same
+        # order the serial path produces them.
+        return list(pool.map(run_experiment, selected, [scale] * len(selected)))
 
 
-def main() -> None:  # pragma: no cover - CLI convenience
-    """Command-line entry point: ``python -m repro.experiments.runner [scale]``."""
-    import sys
+def main(argv: list[str] | None = None) -> None:
+    """Command-line entry point: ``python -m repro.experiments.runner``."""
+    import argparse
 
-    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
-    for result in run_all(scale):
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "scale",
+        nargs="?",
+        type=float,
+        default=1.0,
+        help="iteration-count multiplier for every experiment (default 1.0)",
+    )
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="number of worker processes (default 1: run serially)",
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        metavar="NAME",
+        help="run only the named experiment (repeatable)",
+    )
+    args = parser.parse_args(argv)
+    results = run_all(args.scale, names=args.only, jobs=args.jobs)
+    for result in results:
         print(result)
         print()
 

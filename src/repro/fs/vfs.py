@@ -180,10 +180,12 @@ class FilesystemBase:
         result = WritebackResult()
         if not inode.dirty_pages:
             return result
-        runs = self._contiguous_runs(sorted(inode.dirty_pages))
+        dirty_pages = inode.dirty_pages
+        runs = self._contiguous_runs(sorted(dirty_pages))
+        data_block_name = inode.data_block_name
         for run in runs:
             payload = [
-                WrittenBlock(block=inode.data_block_name(page), version=inode.dirty_pages[page])
+                WrittenBlock(block=data_block_name(page), version=dirty_pages[page])
                 for page in run
             ]
             request = self.block.write(

@@ -5,6 +5,11 @@ stack relies on: mutexes protecting the running transaction, wait queues used
 by the JBD/commit/flush threads, bounded command queues at the device, and
 condition variables used to signal "transaction committed" or "cache
 flushed".
+
+All primitives use ``__slots__`` and, on their uncontended fast paths, grant
+by marking a freshly created event as triggered directly: a fresh event
+cannot have callbacks yet, so the ``succeed()`` dispatch machinery is skipped
+entirely (see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -15,6 +20,14 @@ from typing import Any, Callable, Deque, Generator, Optional
 from repro.simulation.engine import Event, SimulationError, Simulator
 
 
+def _granted(sim: Simulator, name: str, value: Any) -> Event:
+    """A fresh event born triggered — the callback-free grant path."""
+    event = Event(sim, name)
+    event._triggered = True  # noqa: SLF001 - no callbacks can exist yet
+    event._value = value  # noqa: SLF001
+    return event
+
+
 class Mutex:
     """A non-reentrant mutual-exclusion lock.
 
@@ -22,11 +35,14 @@ class Mutex:
     granted; ``release()`` hands the lock to the longest waiting requester.
     """
 
+    __slots__ = ("sim", "name", "_locked", "_waiters", "_acquire_name")
+
     def __init__(self, sim: Simulator, name: str = "mutex"):
         self.sim = sim
         self.name = name
         self._locked = False
         self._waiters: Deque[Event] = deque()
+        self._acquire_name = f"{name}.acquire"
 
     @property
     def locked(self) -> bool:
@@ -35,12 +51,11 @@ class Mutex:
 
     def acquire(self) -> Event:
         """Request the lock; the returned event fires when it is granted."""
-        event = self.sim.event(name=f"{self.name}.acquire")
         if not self._locked:
             self._locked = True
-            event.succeed(self)
-        else:
-            self._waiters.append(event)
+            return _granted(self.sim, self._acquire_name, self)
+        event = Event(self.sim, self._acquire_name)
+        self._waiters.append(event)
         return event
 
     def release(self) -> None:
@@ -61,6 +76,8 @@ class Mutex:
 class _MutexContext:
     """Helper so process code can write ``yield from mutex.holding().run(fn)``."""
 
+    __slots__ = ("mutex",)
+
     def __init__(self, mutex: Mutex):
         self.mutex = mutex
 
@@ -77,6 +94,8 @@ class _MutexContext:
 class Semaphore:
     """A counting semaphore with FIFO wakeup order."""
 
+    __slots__ = ("sim", "name", "capacity", "_available", "_waiters", "_acquire_name")
+
     def __init__(self, sim: Simulator, capacity: int, name: str = "semaphore"):
         if capacity < 0:
             raise SimulationError("semaphore capacity must be non-negative")
@@ -85,6 +104,7 @@ class Semaphore:
         self.capacity = capacity
         self._available = capacity
         self._waiters: Deque[Event] = deque()
+        self._acquire_name = f"{name}.acquire"
 
     @property
     def available(self) -> int:
@@ -93,12 +113,11 @@ class Semaphore:
 
     def acquire(self) -> Event:
         """Take one slot; the returned event fires when a slot is available."""
-        event = self.sim.event(name=f"{self.name}.acquire")
         if self._available > 0:
             self._available -= 1
-            event.succeed(self)
-        else:
-            self._waiters.append(event)
+            return _granted(self.sim, self._acquire_name, self)
+        event = Event(self.sim, self._acquire_name)
+        self._waiters.append(event)
         return event
 
     def release(self) -> None:
@@ -120,9 +139,22 @@ class Semaphore:
 class Resource(Semaphore):
     """Alias of :class:`Semaphore` with a name that reads better for devices."""
 
+    __slots__ = ()
+
 
 class Store:
     """An unbounded (or bounded) FIFO queue of items between processes."""
+
+    __slots__ = (
+        "sim",
+        "name",
+        "capacity",
+        "_items",
+        "_getters",
+        "_putters",
+        "_put_name",
+        "_get_name",
+    )
 
     def __init__(self, sim: Simulator, capacity: Optional[int] = None, name: str = "store"):
         self.sim = sim
@@ -131,6 +163,8 @@ class Store:
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
         self._putters: Deque[tuple[Event, Any]] = deque()
+        self._put_name = f"{name}.put"
+        self._get_name = f"{name}.get"
 
     def __len__(self) -> int:
         return len(self._items)
@@ -142,27 +176,26 @@ class Store:
 
     def put(self, item: Any) -> Event:
         """Enqueue ``item``; the event fires once the item is accepted."""
-        event = self.sim.event(name=f"{self.name}.put")
         if self._getters:
             getter = self._getters.popleft()
             getter.succeed(item)
-            event.succeed(item)
-        elif self.capacity is None or len(self._items) < self.capacity:
+            return _granted(self.sim, self._put_name, item)
+        if self.capacity is None or len(self._items) < self.capacity:
             self._items.append(item)
-            event.succeed(item)
-        else:
-            self._putters.append((event, item))
+            return _granted(self.sim, self._put_name, item)
+        event = Event(self.sim, self._put_name)
+        self._putters.append((event, item))
         return event
 
     def get(self) -> Event:
         """Dequeue the oldest item; the event fires with the item."""
-        event = self.sim.event(name=f"{self.name}.get")
         if self._items:
             item = self._items.popleft()
-            event.succeed(item)
+            event = _granted(self.sim, self._get_name, item)
             self._admit_putter()
-        else:
-            self._getters.append(event)
+            return event
+        event = Event(self.sim, self._get_name)
+        self._getters.append(event)
         return event
 
     def _admit_putter(self) -> None:
@@ -183,22 +216,27 @@ class Condition:
     application thread waits for "transaction durable".
     """
 
+    __slots__ = ("sim", "name", "_waiters", "_wait_name")
+
     def __init__(self, sim: Simulator, name: str = "condition"):
         self.sim = sim
         self.name = name
         self._waiters: list[Event] = []
+        self._wait_name = f"{name}.wait"
 
     def wait(self) -> Event:
         """Event that fires at the next notification."""
-        event = self.sim.event(name=f"{self.name}.wait")
+        event = Event(self.sim, self._wait_name)
         self._waiters.append(event)
         return event
 
     def notify_all(self, value: Any = None) -> None:
         """Wake every current waiter."""
-        waiters, self._waiters = self._waiters, []
-        for waiter in waiters:
-            waiter.succeed(value)
+        waiters = self._waiters
+        if waiters:
+            self._waiters = []
+            for waiter in waiters:
+                waiter.succeed(value)
 
     def wait_for(self, predicate: Callable[[], bool]) -> Generator[Event, Any, None]:
         """Generator: block until ``predicate()`` is true."""

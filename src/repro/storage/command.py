@@ -77,6 +77,12 @@ class WrittenBlock:
 
 _command_ids = itertools.count(1)
 
+# Raw flag bits: ``flags.value & bit`` avoids the Flag instance that
+# Flag.__and__ allocates on every predicate call (hot in device servicing).
+_FUA_BIT = CommandFlag.FUA.value
+_FLUSH_BIT = CommandFlag.FLUSH.value
+_BARRIER_BIT = CommandFlag.BARRIER.value
+
 
 @dataclass
 class Command:
@@ -121,9 +127,11 @@ class Command:
     def attach(self, sim: Simulator) -> "Command":
         """Create the milestone events on ``sim`` (called by the device)."""
         if self.accepted is None:
-            self.accepted = sim.event(name=f"cmd{self.command_id}.accepted")
-            self.transferred = sim.event(name=f"cmd{self.command_id}.transferred")
-            self.completed = sim.event(name=f"cmd{self.command_id}.completed")
+            # Constant names: per-command f-strings were hot in the submit
+            # path; ``describe()`` still identifies commands.
+            self.accepted = Event(sim, "cmd.accepted")
+            self.transferred = Event(sim, "cmd.transferred")
+            self.completed = Event(sim, "cmd.completed")
         return self
 
     # -- convenience predicates -------------------------------------------
@@ -140,17 +148,17 @@ class Command:
     @property
     def is_barrier(self) -> bool:
         """Whether the command carries the cache-barrier flag."""
-        return bool(self.flags & CommandFlag.BARRIER)
+        return self.flags.value & _BARRIER_BIT != 0
 
     @property
     def is_fua(self) -> bool:
         """Whether the command requires Force Unit Access durability."""
-        return bool(self.flags & CommandFlag.FUA)
+        return self.flags.value & _FUA_BIT != 0
 
     @property
     def wants_preflush(self) -> bool:
         """Whether the cache must be flushed before servicing the command."""
-        return bool(self.flags & CommandFlag.FLUSH)
+        return self.flags.value & _FLUSH_BIT != 0
 
     def describe(self) -> str:
         """One-line human readable description (used in traces)."""

@@ -98,9 +98,12 @@ class WritebackCache:
 
     def _prune(self) -> list[CacheEntry]:
         """Drop persisted entries from the dirty list (cheap, in order)."""
-        if any(entry.is_durable for entry in self._dirty):
-            self._dirty = [entry for entry in self._dirty if not entry.is_durable]
-        return self._dirty
+        dirty = self._dirty
+        kept = [entry for entry in dirty if not entry.is_durable]
+        if len(kept) != len(dirty):
+            self._dirty = kept
+            return kept
+        return dirty
 
     @property
     def resident_pages(self) -> int:

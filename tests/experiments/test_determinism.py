@@ -1,0 +1,47 @@
+"""Determinism regression tests for the experiment layer.
+
+The engine fast path and the parallel runner are only acceptable if they
+change nothing observable: running an experiment twice, and running the
+suite serially vs. across worker processes, must produce byte-identical
+tables — including the context-switch counts of Fig. 11.
+"""
+
+from repro.experiments import fig9_random_write, table1_fsync_latency
+from repro.experiments.runner import run_all, run_experiment
+
+SCALE = 0.05  # clamps to each experiment's minimum iteration counts
+
+
+def test_table1_rows_are_reproducible():
+    first = table1_fsync_latency.run(SCALE)
+    second = table1_fsync_latency.run(SCALE)
+    assert first.rows == second.rows
+
+
+def test_fig9_rows_are_reproducible():
+    first = fig9_random_write.run(SCALE)
+    second = fig9_random_write.run(SCALE)
+    assert first.rows == second.rows
+
+
+def test_serial_and_parallel_runner_agree():
+    serial = run_all(SCALE, names=["table1", "fig9"], jobs=1)
+    parallel = run_all(SCALE, names=["table1", "fig9"], jobs=2)
+    assert [result.name for result in serial] == [result.name for result in parallel]
+    for serial_result, parallel_result in zip(serial, parallel):
+        assert serial_result.rows == parallel_result.rows
+
+
+def test_parallel_runner_preserves_requested_order():
+    names = ["fig9", "table1"]
+    results = run_all(SCALE, names=names, jobs=2)
+    assert [result.name for result in results] == [
+        run_experiment(name, SCALE).name for name in names
+    ]
+
+
+def test_runner_rejects_unknown_names_before_spawning_workers():
+    import pytest
+
+    with pytest.raises(KeyError):
+        run_all(SCALE, names=["table1", "nope"], jobs=4)

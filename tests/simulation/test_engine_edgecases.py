@@ -1,0 +1,388 @@
+"""Edge-case tests for the engine's fast path.
+
+These pin the behaviours that the zero-allocation refactor must preserve:
+interrupt/timeout races, degenerate AllOf/AnyOf inputs, error routing with
+``propagate_process_errors=False``, the trampoline for already-triggered
+yields, and the ``run(until=...)`` boundary semantics.
+"""
+
+import pytest
+
+from repro.simulation import (
+    AllOf,
+    Event,
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
+
+
+# ---------------------------------------------------------------- interrupts
+def test_interrupt_racing_pending_timeout_detaches():
+    """Interrupting a process whose timeout entry is still in the heap.
+
+    The interrupt must detach the process from the timeout: the Interrupt is
+    delivered, no context switch is charged for the abandoned wait, and the
+    stale timeout entry later fires into the void without resurrecting the
+    process.
+    """
+    sim = Simulator()
+    log = []
+
+    def victim():
+        try:
+            yield sim.timeout(10)
+            log.append("timeout")
+        except Interrupt as interrupt:
+            log.append(("interrupted", interrupt.cause, sim.now))
+            return
+        log.append("never")
+
+    victim_proc = sim.process(victim())
+    sim.run(until=5)
+    victim_proc.interrupt("race")
+    sim.run()
+    assert log == [("interrupted", "race", 5)]
+    assert victim_proc.triggered
+    # Interrupt delivery is not a wakeup: no context switch is charged.
+    assert victim_proc.context_switches == 0
+    assert sim.now == 10  # the detached timeout entry still drained
+
+
+def test_same_instant_interrupt_loses_to_fired_timeout():
+    """FIFO at identical timestamps: a timeout that fired first wins the race."""
+    sim = Simulator()
+    log = []
+
+    def victim():
+        try:
+            yield sim.timeout(10)
+            log.append(("timeout", sim.now))
+        except Interrupt:
+            log.append("interrupted")
+
+    def killer(process):
+        yield sim.timeout(10)
+        process.interrupt("race")
+
+    victim_proc = sim.process(victim())
+    sim.process(killer(victim_proc))
+    sim.run()
+    # The victim's timeout entry precedes the killer's resume, so the victim
+    # wakes with the timeout value; the late interrupt is a no-op.
+    assert log == [("timeout", 10)]
+    assert victim_proc.triggered
+
+
+def test_interrupt_after_timeout_fired_is_delivered_at_next_wait():
+    """If the wait already completed, the interrupt hits the next yield."""
+    sim = Simulator()
+    log = []
+
+    def victim():
+        yield sim.timeout(5)
+        log.append("first")
+        try:
+            yield sim.timeout(100)
+        except Interrupt:
+            log.append("interrupted")
+            return
+
+    def killer(process):
+        yield sim.timeout(7)
+        process.interrupt()
+
+    sim.process(killer(sim.process(victim())))
+    sim.run()
+    assert log == ["first", "interrupted"]
+
+
+def test_interrupt_on_finished_process_is_noop():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1)
+
+    process = sim.process(quick())
+    sim.run()
+    assert process.triggered
+    process.interrupt("too late")  # must not raise or reschedule
+    sim.run()
+    assert process.triggered
+
+
+def test_uncaught_interrupt_completes_process_with_none():
+    sim = Simulator()
+
+    def victim():
+        yield sim.timeout(100)
+
+    def killer(process):
+        yield sim.timeout(1)
+        process.interrupt()
+
+    victim_proc = sim.process(victim())
+    sim.process(killer(victim_proc))
+    sim.run()
+    assert victim_proc.triggered
+    assert victim_proc.value is None
+
+
+# ---------------------------------------------------------------- AllOf / AnyOf
+def test_all_of_empty_iterable_fires_with_empty_list():
+    sim = Simulator()
+    results = []
+
+    def proc():
+        values = yield sim.all_of([])
+        results.append((sim.now, values))
+
+    sim.process(proc())
+    sim.run()
+    assert results == [(0, [])]
+
+
+def test_all_of_empty_is_not_triggered_synchronously():
+    sim = Simulator()
+    gathered = AllOf(sim, [])
+    assert not gathered.triggered  # fires on the next dispatch cycle
+    sim.run()
+    assert gathered.triggered
+    assert gathered.value == []
+
+
+def test_all_of_failure_propagates_first_error():
+    sim = Simulator(propagate_process_errors=False)
+    caught = []
+
+    def fail_later(event):
+        yield sim.timeout(1)
+        event.fail(ValueError("broken leg"))
+
+    def proc():
+        ok = sim.timeout(5)
+        bad = sim.event()
+        sim.process(fail_later(bad))
+        try:
+            yield sim.all_of([ok, bad])
+        except ValueError as error:
+            caught.append((sim.now, str(error)))
+
+    sim.process(proc())
+    sim.run()
+    assert caught == [(1, "broken leg")]
+
+
+def test_any_of_failure_propagation():
+    sim = Simulator(propagate_process_errors=False)
+    caught = []
+
+    def fail_later(event):
+        yield sim.timeout(2)
+        event.fail(RuntimeError("first loser"))
+
+    def proc():
+        slow = sim.timeout(50)
+        doomed = sim.event()
+        sim.process(fail_later(doomed))
+        try:
+            yield sim.any_of([slow, doomed])
+        except RuntimeError as error:
+            caught.append((sim.now, str(error)))
+
+    sim.process(proc())
+    sim.run()
+    assert caught == [(2, "first loser")]
+
+
+def test_any_of_requires_events():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.any_of([])
+
+
+def test_any_of_ignores_later_failures():
+    """Once AnyOf fired with the winner, a later failure must not resurface."""
+    sim = Simulator()
+    results = []
+
+    def proc():
+        fast = sim.timeout(1, "fast")
+        doomed = sim.event()
+        sim.process(fail_later(doomed))
+        value = yield sim.any_of([fast, doomed])
+        results.append(value)
+        yield sim.timeout(10)  # outlive the failure
+        results.append("survived")
+
+    def fail_later(event):
+        yield sim.timeout(5)
+        event.fail(RuntimeError("late failure"))
+
+    sim.process(proc())
+    sim.run()
+    assert results == ["fast", "survived"]
+
+
+# ---------------------------------------------------------------- error routing
+def test_propagate_false_records_failure_on_process_event():
+    sim = Simulator(propagate_process_errors=False)
+
+    def bad():
+        yield sim.timeout(1)
+        raise RuntimeError("contained")
+
+    process = sim.process(bad())
+    sim.run()  # must not raise
+    assert process.triggered
+    assert not process.ok
+    with pytest.raises(RuntimeError, match="contained"):
+        _ = process.value
+
+
+def test_propagate_false_failure_wakes_waiter_with_exception():
+    sim = Simulator(propagate_process_errors=False)
+    caught = []
+
+    def bad():
+        yield sim.timeout(1)
+        raise RuntimeError("child down")
+
+    def parent():
+        try:
+            yield sim.process(bad())
+        except RuntimeError as error:
+            caught.append(str(error))
+
+    sim.process(parent())
+    sim.run()
+    assert caught == ["child down"]
+
+
+def test_propagate_true_aborts_run():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1)
+        raise RuntimeError("kaboom")
+
+    sim.process(bad())
+    with pytest.raises(RuntimeError, match="kaboom"):
+        sim.run()
+
+
+# ---------------------------------------------------------------- trampoline
+def test_triggered_yields_trampoline_without_context_switches():
+    """A long chain of already-triggered yields completes without blocking."""
+    sim = Simulator()
+    hops = 10_000
+    done = []
+
+    def spinner():
+        for index in range(hops):
+            event = Event(sim)
+            event.succeed(index)
+            value = yield event
+            assert value == index
+        done.append(sim.now)
+
+    process = sim.process(spinner())
+    sim.run()
+    assert done == [0]
+    assert process.context_switches == 0
+
+
+def test_trampoline_bound_still_makes_progress():
+    """Even past the trampoline bound the process keeps running at t=now."""
+    sim = Simulator()
+    results = []
+
+    def spinner():
+        for _ in range(1000):  # far above _TRAMPOLINE_LIMIT
+            gate = Event(sim)
+            gate.fail(ValueError("pre-failed"))
+            try:
+                yield gate
+            except ValueError:
+                pass
+        results.append(sim.now)
+
+    sim.process(spinner())
+    sim.run()
+    assert results == [0]
+
+
+# ---------------------------------------------------------------- run(until=...)
+def test_run_until_executes_event_exactly_at_boundary():
+    """Pinned semantics: entries scheduled exactly at ``until`` execute."""
+    sim = Simulator()
+    fired = []
+
+    def proc():
+        yield sim.timeout(50)
+        fired.append(sim.now)
+
+    sim.process(proc())
+    sim.run(until=50)
+    assert fired == [50]
+    assert sim.now == 50
+
+
+def test_run_until_leaves_later_events_pending():
+    sim = Simulator()
+    fired = []
+
+    def proc():
+        yield sim.timeout(50)
+        fired.append("at-50")
+        yield sim.timeout(0.0001)
+        fired.append("after-50")
+
+    sim.process(proc())
+    sim.run(until=50)
+    assert fired == ["at-50"]
+    sim.run()
+    assert fired == ["at-50", "after-50"]
+
+
+def test_run_until_in_the_past_never_moves_time_backwards():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(100)
+
+    sim.process(proc())
+    sim.run()
+    assert sim.now == 100
+    # Empty heap and until < now: no-op either way.
+    sim.run(until=10)
+    assert sim.now == 100
+    # Non-empty heap with the next entry beyond until: still a no-op.
+    sim.process(proc())
+    sim.run(until=10)
+    assert sim.now == 100
+    sim.run()
+    assert sim.now == 200
+
+
+def test_run_until_idle_clock_jumps_to_until():
+    sim = Simulator()
+    sim.run(until=123.5)
+    assert sim.now == 123.5
+
+
+def test_zero_delay_event_scheduled_at_until_runs_in_same_call():
+    """A t==until entry scheduled *by* a t==until entry also executes."""
+    sim = Simulator()
+    fired = []
+
+    def proc():
+        yield sim.timeout(50)
+        fired.append("first")
+        yield sim.timeout(0)
+        fired.append("second")
+
+    sim.process(proc())
+    sim.run(until=50)
+    assert fired == ["first", "second"]
+    assert sim.now == 50
