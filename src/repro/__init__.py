@@ -13,10 +13,16 @@ Typical entry points:
 >>> from repro.core import build_stack, standard_config
 >>> stack = build_stack(standard_config("BFS-DR", "plain-ssd"))
 
-and the experiment harness:
+the experiment harness:
 
 >>> from repro.experiments import run_all
 >>> tables = run_all(scale=1.0)
+
+and the declarative scenario layer for matrices no figure hard-codes:
+
+>>> from repro.scenarios import sweep, sweep_table
+>>> table = sweep_table(sweep(workloads=["varmail"], configs=["OptFS"],
+...                           devices=["ufs"]))
 """
 
 from repro.core.stack import IOStack, StackConfig, build_stack, standard_config

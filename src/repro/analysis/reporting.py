@@ -2,11 +2,18 @@
 
 Every experiment returns an :class:`ExperimentResult`: a label, the column
 names and a list of rows.  :func:`format_table` renders it as the plain-text
-table printed by the benchmark harness and recorded in ``EXPERIMENTS.md``.
+table printed by the benchmark harness and documented in
+``docs/EXPERIMENTS.md``; :meth:`ExperimentResult.to_json` and
+:meth:`ExperimentResult.to_csv` emit the machine-readable forms the runner's
+``--format json|csv`` flag uses, so results can be diffed and archived as CI
+artifacts.
 """
 
 from __future__ import annotations
 
+import csv
+import io
+import json
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -37,6 +44,28 @@ class ExperimentResult:
     def as_dicts(self) -> list[dict[str, object]]:
         """Rows as dictionaries keyed by column name."""
         return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-data form (JSON-serialisable for the standard experiments)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "notes": self.notes,
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """The table as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def to_csv(self) -> str:
+        """The table as CSV (header row + data rows, raw unrounded values)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self.columns)
+        writer.writerows(self.rows)
+        return buffer.getvalue()
 
     def __str__(self) -> str:
         return format_table(self)

@@ -19,6 +19,10 @@ name                  meaning
 system call the *workload* issues; the stack itself is identical, so
 :func:`standard_config` records the intended sync call in
 ``StackConfig.sync_call`` for the workloads to pick up.
+
+The table itself lives in the scenario-layer registry
+(:data:`repro.scenarios.stacks.STACK_CONFIGS`); register new named
+configurations there rather than editing this module.
 """
 
 from __future__ import annotations
@@ -158,29 +162,21 @@ def build_stack(config: StackConfig) -> IOStack:
     )
 
 
-#: Named configurations used throughout the evaluation section.
-_STANDARD = {
-    "EXT4-DR": dict(filesystem="ext4", no_barrier=False, sync_call="fsync"),
-    "EXT4-OD": dict(filesystem="ext4", no_barrier=True, sync_call="fsync"),
-    "BFS-DR": dict(filesystem="barrierfs", sync_call="fsync"),
-    "BFS-OD": dict(filesystem="barrierfs", sync_call="fbarrier"),
-    "OptFS": dict(filesystem="optfs", sync_call="osync"),
-}
-
-
 def standard_config(name: str, device: str = "plain-ssd", **overrides) -> StackConfig:
-    """The paper's named stack configurations (EXT4-DR, BFS-OD, ...)."""
-    try:
-        base = _STANDARD[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown configuration {name!r}; choose from {sorted(_STANDARD)}"
-        ) from None
-    params = dict(base)
-    params.update(overrides)
-    return StackConfig(device=device, **params)
+    """The paper's named stack configurations (EXT4-DR, BFS-OD, ...).
+
+    The configuration table lives in the scenario-layer registry
+    (:data:`repro.scenarios.stacks.STACK_CONFIGS`); this function is the
+    core-layer shim over it.  Imported lazily: the scenario layer builds on
+    the core, not the other way round.
+    """
+    from repro.scenarios.stacks import stack_config
+
+    return stack_config(name, device, **overrides)
 
 
 def standard_configurations() -> list[str]:
     """Names of the standard configurations."""
-    return sorted(_STANDARD)
+    from repro.scenarios.stacks import STACK_CONFIGS
+
+    return STACK_CONFIGS.names()

@@ -11,11 +11,8 @@ epochs.
 
 from __future__ import annotations
 
-from dataclasses import replace
-
-from repro.analysis.measure import measure_sync_latency
 from repro.analysis.reporting import ExperimentResult
-from repro.core.stack import build_stack, standard_config
+from repro.scenarios import ScenarioSpec, run_matrix
 from repro.simulation.engine import MSEC
 from repro.storage.barrier_modes import BarrierMode
 
@@ -27,22 +24,34 @@ MODES = (
 )
 
 
-def run(scale: float = 1.0) -> ExperimentResult:
+def _specs(scale: float) -> list[ScenarioSpec]:
+    calls = max(40, int(150 * scale))
+    return [
+        ScenarioSpec(
+            workload="sync-loop", config="BFS-DR", device=device, label=label,
+            barrier_mode=mode.value,
+            params=dict(calls=calls, sync_call="fsync", allocating=True),
+        )
+        for label, device, mode in MODES
+    ]
+
+
+def _row(outcome):
+    summary = outcome.result.latencies.summary()
+    return (outcome.spec.label, outcome.spec.device, summary.mean / MSEC, summary.p99 / MSEC)
+
+
+def run(scale: float = 1.0, *, jobs: int = 1) -> ExperimentResult:
     """Compare barrier implementations under a BarrierFS fsync workload."""
-    result = ExperimentResult(
+    return run_matrix(
         name="Ablation — barrier implementation in the storage controller",
         description="BarrierFS 4KB allocating write + fsync, mean latency per barrier mode",
         columns=("barrier_mode", "device", "mean_fsync_ms", "p99_fsync_ms"),
+        specs=_specs(scale),
+        row=_row,
+        notes=(
+            "in-order write-back serialises epoch programming and loses part of the "
+            "benefit; in-order recovery keeps full flash parallelism"
+        ),
+        jobs=jobs,
     )
-    calls = max(40, int(150 * scale))
-    for label, device, mode in MODES:
-        config = replace(standard_config("BFS-DR", device), barrier_mode=mode)
-        stack = build_stack(config)
-        loop = measure_sync_latency(stack, calls=calls, sync_call="fsync", allocating=True)
-        summary = loop.latencies.summary()
-        result.add_row(label, device, summary.mean / MSEC, summary.p99 / MSEC)
-    result.notes = (
-        "in-order write-back serialises epoch programming and loses part of the "
-        "benefit; in-order recovery keeps full flash parallelism"
-    )
-    return result

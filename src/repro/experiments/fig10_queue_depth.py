@@ -10,28 +10,44 @@ statistics of the same traces (and the traces themselves are available from
 from __future__ import annotations
 
 from repro.analysis.reporting import ExperimentResult
-from repro.experiments.blocklevel import run_scenario
+from repro.scenarios import ScenarioSpec, run_matrix
+from repro.storage.profiles import get_profile
 
 DEVICES = ("plain-ssd", "ufs")
+MODES = (("X", "wait-on-transfer"), ("B", "barrier"))
 
 
-def run(scale: float = 1.0, *, devices: tuple[str, ...] = DEVICES) -> ExperimentResult:
+def _specs(scale: float, devices: tuple[str, ...]) -> list[ScenarioSpec]:
+    return [
+        ScenarioSpec(
+            workload="blocklevel", config=None, device=device, label=label,
+            params=dict(
+                scenario=scenario,
+                num_writes=max(60, int((150 if scenario == "X" else 600) * scale)),
+            ),
+        )
+        for device in devices
+        for scenario, label in MODES
+    ]
+
+
+def _row(outcome):
+    extra = outcome.result.extra
+    return (
+        outcome.spec.device, outcome.spec.label,
+        extra["avg_qd"], extra["max_qd"],
+        get_profile(outcome.spec.device).queue_depth,
+    )
+
+
+def run(scale: float = 1.0, *, devices: tuple[str, ...] = DEVICES, jobs: int = 1) -> ExperimentResult:
     """Run the Fig. 10 queue-depth comparison and return its table."""
-    result = ExperimentResult(
+    return run_matrix(
         name="Fig. 10 — Queue depth: Wait-on-Transfer vs. barrier",
         description="device command-queue depth while running 4KB random writes",
         columns=("device", "mode", "avg_qd", "max_qd", "device_qd_limit"),
+        specs=_specs(scale, devices),
+        row=_row,
+        notes="paper: QD stays ~1 with Wait-on-Transfer, grows to the device limit with barrier writes",
+        jobs=jobs,
     )
-    for device in devices:
-        for scenario, label in (("X", "wait-on-transfer"), ("B", "barrier")):
-            writes = max(60, int((150 if scenario == "X" else 600) * scale))
-            run_result = run_scenario(scenario, device, num_writes=writes)
-            limit = run_result.queue_depth_series.maximum if run_result.queue_depth_series else 0
-            from repro.storage.profiles import get_profile
-
-            result.add_row(
-                device, label, run_result.mean_queue_depth,
-                run_result.max_queue_depth, get_profile(device).queue_depth,
-            )
-    result.notes = "paper: QD stays ~1 with Wait-on-Transfer, grows to the device limit with barrier writes"
-    return result

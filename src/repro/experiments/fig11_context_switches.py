@@ -8,9 +8,8 @@ which usually degenerates to fdatabarrier — almost never blocks.
 
 from __future__ import annotations
 
-from repro.analysis.measure import measure_context_switches
 from repro.analysis.reporting import ExperimentResult
-from repro.core.stack import build_stack, standard_config
+from repro.scenarios import ScenarioSpec, run_matrix
 
 DEVICES = ("ufs", "plain-ssd", "supercap-ssd")
 #: (label, stack configuration, sync call, allocating writes?)
@@ -22,20 +21,33 @@ MODES = (
 )
 
 
-def run(scale: float = 1.0, *, devices: tuple[str, ...] = DEVICES) -> ExperimentResult:
+def _specs(scale: float, devices: tuple[str, ...]) -> list[ScenarioSpec]:
+    calls = max(40, int(150 * scale))
+    return [
+        ScenarioSpec(
+            workload="sync-loop", config=config, device=device, label=label,
+            params=dict(calls=calls, sync_call=sync_call, allocating=allocating),
+        )
+        for device in devices
+        for label, config, sync_call, allocating in MODES
+    ]
+
+
+def _row(outcome):
+    return (
+        outcome.spec.device, outcome.spec.label,
+        outcome.result.extra["sync_call"], outcome.result.extra["context_switches"],
+    )
+
+
+def run(scale: float = 1.0, *, devices: tuple[str, ...] = DEVICES, jobs: int = 1) -> ExperimentResult:
     """Run the Fig. 11 context-switch measurement and return its table."""
-    result = ExperimentResult(
+    return run_matrix(
         name="Fig. 11 — context switches per sync call",
         description="average number of times the calling thread blocks per call",
         columns=("device", "mode", "sync_call", "context_switches"),
+        specs=_specs(scale, devices),
+        row=_row,
+        notes="paper: ~2.0 for EXT4-DR, ~1.0-1.3 for BFS-DR, ~0.1-0.2 for BFS-OD",
+        jobs=jobs,
     )
-    calls = max(40, int(150 * scale))
-    for device in devices:
-        for label, config_name, sync_call, allocating in MODES:
-            stack = build_stack(standard_config(config_name, device))
-            switches = measure_context_switches(
-                stack, calls=calls, sync_call=sync_call, allocating=allocating
-            )
-            result.add_row(device, label, sync_call, switches)
-    result.notes = "paper: ~2.0 for EXT4-DR, ~1.0-1.3 for BFS-DR, ~0.1-0.2 for BFS-OD"
-    return result

@@ -7,29 +7,37 @@ ordering guarantee (write+fbarrier) nothing ever waits and the queue fills.
 
 from __future__ import annotations
 
-from dataclasses import replace
-
-from repro.analysis.measure import measure_sync_latency
 from repro.analysis.reporting import ExperimentResult
-from repro.core.stack import build_stack, standard_config
+from repro.scenarios import ScenarioSpec, run_matrix
+
+MODES = (("durability", "fsync"), ("ordering", "fbarrier"))
 
 
-def run(scale: float = 1.0, *, device: str = "plain-ssd") -> ExperimentResult:
+def _specs(scale: float, device: str) -> list[ScenarioSpec]:
+    calls = max(60, int(250 * scale))
+    return [
+        ScenarioSpec(
+            workload="sync-loop", config="BFS-DR", device=device, label=label,
+            params=dict(calls=calls, sync_call=sync_call, allocating=True),
+            stack_overrides=dict(track_queue_depth=True),
+        )
+        for label, sync_call in MODES
+    ]
+
+
+def _row(outcome):
+    extra = outcome.result.extra
+    return (outcome.spec.label, extra["sync_call"], extra["avg_qd"], extra["max_qd"])
+
+
+def run(scale: float = 1.0, *, device: str = "plain-ssd", jobs: int = 1) -> ExperimentResult:
     """Run the Fig. 12 comparison and return its table."""
-    result = ExperimentResult(
+    return run_matrix(
         name="Fig. 12 — BarrierFS queue depth: durability vs. ordering",
         description="device command-queue depth while running write+fsync vs write+fbarrier",
         columns=("guarantee", "sync_call", "avg_qd", "max_qd"),
+        specs=_specs(scale, device),
+        row=_row,
+        notes="paper: fsync drives the queue to ~2, fbarrier saturates it (~15)",
+        jobs=jobs,
     )
-    calls = max(60, int(250 * scale))
-    for label, sync_call in (("durability", "fsync"), ("ordering", "fbarrier")):
-        config = replace(standard_config("BFS-DR", device), track_queue_depth=True)
-        stack = build_stack(config)
-        measure_sync_latency(stack, calls=calls, sync_call=sync_call, allocating=True)
-        result.add_row(
-            label, sync_call,
-            stack.device.stats.queue_depth.mean(now=stack.sim.now),
-            stack.device.stats.queue_depth.peak,
-        )
-    result.notes = "paper: fsync drives the queue to ~2, fbarrier saturates it (~15)"
-    return result

@@ -9,12 +9,31 @@ around six cores with BarrierFS ~1.3× ahead.
 from __future__ import annotations
 
 from repro.analysis.reporting import ExperimentResult
-from repro.apps.fxmark import FxmarkDWSL
-from repro.core.stack import build_stack, standard_config
+from repro.scenarios import ScenarioSpec, run_matrix
 
 DEVICES = ("plain-ssd", "supercap-ssd")
 CONFIGS = ("EXT4-DR", "BFS-DR")
 CORE_COUNTS = (1, 2, 4, 6, 8, 10)
+
+
+def _specs(scale, devices, core_counts) -> list[ScenarioSpec]:
+    ops_per_thread = max(15, int(40 * scale))
+    return [
+        ScenarioSpec(
+            workload="fxmark", config=config, device=device,
+            params=dict(num_threads=cores, ops_per_thread=ops_per_thread),
+        )
+        for device in devices
+        for config in CONFIGS
+        for cores in core_counts
+    ]
+
+
+def _row(outcome):
+    return (
+        outcome.spec.device, outcome.spec.config,
+        outcome.result.extra["num_threads"], outcome.result.ops_per_second,
+    )
 
 
 def run(
@@ -22,20 +41,15 @@ def run(
     *,
     devices: tuple[str, ...] = DEVICES,
     core_counts: tuple[int, ...] = CORE_COUNTS,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Run the DWSL scalability sweep and return its table."""
-    result = ExperimentResult(
+    return run_matrix(
         name="Fig. 13 — fxmark DWSL scalability",
         description="aggregate write+fsync ops/s vs. number of threads (cores)",
         columns=("device", "config", "threads", "ops_per_sec"),
+        specs=_specs(scale, devices, core_counts),
+        row=_row,
+        notes="paper: BFS ~2x EXT4 on plain-SSD at every core count; ~1.3x on supercap at saturation",
+        jobs=jobs,
     )
-    ops_per_thread = max(15, int(40 * scale))
-    for device in devices:
-        for config_name in CONFIGS:
-            for cores in core_counts:
-                stack = build_stack(standard_config(config_name, device))
-                workload = FxmarkDWSL(stack, num_threads=cores)
-                run_result = workload.run(ops_per_thread)
-                result.add_row(device, config_name, cores, run_result.ops_per_second)
-    result.notes = "paper: BFS ~2x EXT4 on plain-SSD at every core count; ~1.3x on supercap at saturation"
-    return result

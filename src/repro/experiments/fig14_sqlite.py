@@ -11,8 +11,8 @@ PERSIST mode, little change in WAL mode, and ~73× for BFS-OD over EXT4-DR
 from __future__ import annotations
 
 from repro.analysis.reporting import ExperimentResult
-from repro.apps.sqlite import SQLiteJournalMode, SQLiteWorkload
-from repro.core.stack import build_stack, standard_config
+from repro.apps.sqlite import SQLiteJournalMode
+from repro.scenarios import ScenarioSpec, run_matrix
 
 #: (panel, device, config name, relax durability?)
 PANELS = (
@@ -24,27 +24,39 @@ PANELS = (
 )
 
 
-def run(scale: float = 1.0) -> ExperimentResult:
+def _specs(scale: float) -> list[ScenarioSpec]:
+    inserts = max(40, int(120 * scale))
+    return [
+        ScenarioSpec(
+            workload="sqlite", config=config, device=device, label=panel,
+            params=dict(
+                inserts=inserts, journal_mode=journal_mode.value,
+                relax_durability=relax,
+            ),
+        )
+        for panel, device, config, relax in PANELS
+        for journal_mode in (SQLiteJournalMode.PERSIST, SQLiteJournalMode.WAL)
+    ]
+
+
+def _row(outcome):
+    return (
+        outcome.spec.label, outcome.spec.device, outcome.spec.config,
+        outcome.result.extra["journal_mode"], outcome.result.ops_per_second,
+    )
+
+
+def run(scale: float = 1.0, *, jobs: int = 1) -> ExperimentResult:
     """Run the SQLite insert benchmark matrix and return its table."""
-    result = ExperimentResult(
+    return run_matrix(
         name="Fig. 14 — SQLite inserts/s",
         description="insert transactions per second, PERSIST and WAL journal modes",
         columns=("panel", "device", "config", "journal_mode", "inserts_per_sec"),
+        specs=_specs(scale),
+        row=_row,
+        notes=(
+            "paper: UFS PERSIST +75% for BFS-DR; plain-SSD BFS-OD ~73x EXT4-DR "
+            "and well above EXT4-OD/OptFS"
+        ),
+        jobs=jobs,
     )
-    inserts = max(40, int(120 * scale))
-    for panel, device, config_name, relax in PANELS:
-        for journal_mode in (SQLiteJournalMode.PERSIST, SQLiteJournalMode.WAL):
-            stack = build_stack(standard_config(config_name, device))
-            workload = SQLiteWorkload(
-                stack, journal_mode=journal_mode, relax_durability=relax
-            )
-            run_result = workload.run(inserts)
-            result.add_row(
-                panel, device, config_name, journal_mode.value,
-                run_result.inserts_per_second,
-            )
-    result.notes = (
-        "paper: UFS PERSIST +75% for BFS-DR; plain-SSD BFS-OD ~73x EXT4-DR "
-        "and well above EXT4-OD/OptFS"
-    )
-    return result

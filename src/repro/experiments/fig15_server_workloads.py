@@ -5,14 +5,15 @@ and supercap SSDs.  Paper shape: BFS-DR ≈ 1.6× EXT4-DR on varmail
 (plain SSD), BFS-OD ≈ 1.8× EXT4-OD, OptFS ≈ EXT4-OD on varmail but an order
 of magnitude behind on MySQL (selective data journaling), and MySQL gains
 ~43× when fsync() is replaced with fbarrier().
+
+Each table row combines two scenarios — a varmail run and an OLTP run on
+fresh stacks — so the spec list interleaves them pairwise.
 """
 
 from __future__ import annotations
 
 from repro.analysis.reporting import ExperimentResult
-from repro.apps.mysql import MySQLOLTPInsert
-from repro.apps.varmail import VarmailWorkload
-from repro.core.stack import build_stack, standard_config
+from repro.scenarios import ScenarioSpec, run_matrix
 
 DEVICES = ("plain-ssd", "supercap-ssd")
 #: (label, config, relax durability?)
@@ -25,31 +26,44 @@ CONFIGS = (
 )
 
 
-def run(scale: float = 1.0, *, devices: tuple[str, ...] = DEVICES) -> ExperimentResult:
+def _specs(scale: float, devices: tuple[str, ...]) -> list[ScenarioSpec]:
+    varmail_iterations = max(10, int(30 * scale))
+    oltp_transactions = max(40, int(120 * scale))
+    specs = []
+    for device in devices:
+        for label, config, relax in CONFIGS:
+            specs.append(ScenarioSpec(
+                workload="varmail", config=config, device=device, label=label,
+                params=dict(iterations=varmail_iterations, relax_durability=relax),
+            ))
+            specs.append(ScenarioSpec(
+                workload="mysql", config=config, device=device, label=label,
+                params=dict(transactions=oltp_transactions, relax_durability=relax),
+            ))
+    return specs
+
+
+def _rows(outcomes):
+    return [
+        (
+            varmail.spec.device, varmail.spec.label,
+            varmail.result.ops_per_second, oltp.result.ops_per_second,
+        )
+        for varmail, oltp in zip(outcomes[0::2], outcomes[1::2])
+    ]
+
+
+def run(scale: float = 1.0, *, devices: tuple[str, ...] = DEVICES, jobs: int = 1) -> ExperimentResult:
     """Run the varmail + OLTP-insert matrix and return its table."""
-    result = ExperimentResult(
+    return run_matrix(
         name="Fig. 15 — server workloads",
         description="filebench varmail (ops/s) and sysbench OLTP-insert (Tx/s)",
         columns=("device", "config", "varmail_ops_per_sec", "oltp_tx_per_sec"),
+        specs=_specs(scale, devices),
+        rows=_rows,
+        notes=(
+            "paper: BFS-DR ~1.6x EXT4-DR (varmail, plain-SSD); BFS-OD ~1.8x EXT4-OD; "
+            "MySQL ~43x from fsync->fbarrier; OptFS trails EXT4-OD on MySQL"
+        ),
+        jobs=jobs,
     )
-    varmail_iterations = max(10, int(30 * scale))
-    oltp_transactions = max(40, int(120 * scale))
-    for device in devices:
-        for label, config_name, relax in CONFIGS:
-            varmail_stack = build_stack(standard_config(config_name, device))
-            varmail = VarmailWorkload(varmail_stack, relax_durability=relax)
-            varmail_result = varmail.run(varmail_iterations)
-
-            oltp_stack = build_stack(standard_config(config_name, device))
-            oltp = MySQLOLTPInsert(oltp_stack, relax_durability=relax)
-            oltp_result = oltp.run(oltp_transactions)
-
-            result.add_row(
-                device, label,
-                varmail_result.ops_per_second, oltp_result.transactions_per_second,
-            )
-    result.notes = (
-        "paper: BFS-DR ~1.6x EXT4-DR (varmail, plain-SSD); BFS-OD ~1.8x EXT4-OD; "
-        "MySQL ~43x from fsync->fbarrier; OptFS trails EXT4-OD on MySQL"
-    )
-    return result

@@ -12,16 +12,36 @@ not remove the gap.
 from __future__ import annotations
 
 from repro.analysis.reporting import ExperimentResult
-from repro.experiments.blocklevel import ordered_vs_buffered_ratio
+from repro.scenarios import ScenarioSpec, run_matrix
 from repro.storage.profiles import FIG1_DEVICES
 
 #: Device labels in the order the paper lists them.
 DEVICE_LABELS = ("A", "B", "C", "D", "E", "F", "G", "HDD")
 
 
-def run(scale: float = 1.0, *, devices: tuple[str, ...] = DEVICE_LABELS) -> ExperimentResult:
+def _specs(scale: float, devices: tuple[str, ...]) -> list[ScenarioSpec]:
+    num_writes = max(40, int(240 * scale))
+    return [
+        ScenarioSpec(
+            workload="ordered-vs-buffered", config=None, device=label,
+            params=dict(num_writes=num_writes),
+        )
+        for label in devices
+    ]
+
+
+def _row(outcome):
+    profile = FIG1_DEVICES[outcome.spec.device]
+    extra = outcome.result.extra
+    return (
+        outcome.spec.device, profile.name, profile.parallelism,
+        extra["ordered_iops"], extra["buffered_iops"], extra["ratio_percent"],
+    )
+
+
+def run(scale: float = 1.0, *, devices: tuple[str, ...] = DEVICE_LABELS, jobs: int = 1) -> ExperimentResult:
     """Run the Fig. 1 sweep and return its table."""
-    result = ExperimentResult(
+    return run_matrix(
         name="Fig. 1 — Ordered vs. buffered write()",
         description=(
             "write()+fdatasync() IOPS vs. plain buffered write() IOPS; the "
@@ -29,19 +49,11 @@ def run(scale: float = 1.0, *, devices: tuple[str, ...] = DEVICE_LABELS) -> Expe
         ),
         columns=("device", "profile", "parallelism", "ordered_iops",
                  "buffered_iops", "ordered/buffered_%"),
+        specs=_specs(scale, devices),
+        row=_row,
+        notes=(
+            "paper: ~20% on mobile eMMC down to ~1% on the 32-channel array; "
+            "supercap (E) does not close the gap"
+        ),
+        jobs=jobs,
     )
-    num_writes = max(40, int(240 * scale))
-    for label in devices:
-        profile = FIG1_DEVICES[label]
-        ordered_iops, buffered_iops, ratio = ordered_vs_buffered_ratio(
-            label, num_writes=num_writes
-        )
-        result.add_row(
-            label, profile.name, profile.parallelism,
-            ordered_iops, buffered_iops, ratio,
-        )
-    result.notes = (
-        "paper: ~20% on mobile eMMC down to ~1% on the 32-channel array; "
-        "supercap (E) does not close the gap"
-    )
-    return result

@@ -10,9 +10,8 @@ configuration and reports the measured average interval.
 
 from __future__ import annotations
 
-from repro.analysis.measure import measure_sync_latency
 from repro.analysis.reporting import ExperimentResult
-from repro.core.stack import build_stack, standard_config
+from repro.scenarios import ScenarioSpec, run_matrix
 from repro.simulation.engine import MSEC
 
 #: (label, device, stack config, sync call) per Fig. 8 row.
@@ -24,23 +23,34 @@ ROWS = (
 )
 
 
-def run(scale: float = 1.0) -> ExperimentResult:
+def _specs(scale: float) -> list[ScenarioSpec]:
+    calls = max(50, int(200 * scale))
+    return [
+        ScenarioSpec(
+            workload="sync-loop", config=config, device=device, label=label,
+            params=dict(calls=calls, sync_call=sync_call, allocating=True),
+        )
+        for label, device, config, sync_call in ROWS
+    ]
+
+
+def _row(outcome):
+    commits = outcome.result.extra["journal_commits"] or 1
+    interval = outcome.result.elapsed_usec / commits
+    return (
+        outcome.spec.label, outcome.spec.device,
+        outcome.result.extra["sync_call"], interval / MSEC, commits,
+    )
+
+
+def run(scale: float = 1.0, *, jobs: int = 1) -> ExperimentResult:
     """Measure the journal-commit interval under each commit scheme."""
-    result = ExperimentResult(
+    return run_matrix(
         name="Fig. 8 — journal commit interval",
         description="average interval between successive journal commits (ms)",
         columns=("scheme", "device", "sync_call", "commit_interval_ms", "commits"),
+        specs=_specs(scale),
+        row=_row,
+        notes="paper: interval shrinks from tD+tC+tF (full flush) to tD (BarrierFS)",
+        jobs=jobs,
     )
-    calls = max(50, int(200 * scale))
-    for label, device, config_name, sync_call in ROWS:
-        stack = build_stack(standard_config(config_name, device))
-        loop = measure_sync_latency(
-            stack, calls=calls, sync_call=sync_call, allocating=True
-        )
-        commits = stack.fs.stats.journal_commits or 1
-        interval = loop.elapsed_usec / commits
-        result.add_row(label, device, sync_call, interval / MSEC, commits)
-    result.notes = (
-        "paper: interval shrinks from tD+tC+tF (full flush) to tD (BarrierFS)"
-    )
-    return result

@@ -10,25 +10,42 @@ staying ≈1 under X but reaching the device maximum under B.
 from __future__ import annotations
 
 from repro.analysis.reporting import ExperimentResult
-from repro.experiments.blocklevel import SCENARIOS, run_scenario
+from repro.experiments.blocklevel import SCENARIOS
+from repro.scenarios import ScenarioSpec, run_matrix
 
 DEVICES = ("ufs", "plain-ssd", "supercap-ssd")
 
 
-def run(scale: float = 1.0, *, devices: tuple[str, ...] = DEVICES) -> ExperimentResult:
+def _specs(scale: float, devices: tuple[str, ...]) -> list[ScenarioSpec]:
+    return [
+        ScenarioSpec(
+            workload="blocklevel", config=None, device=device, label=scenario,
+            params=dict(
+                scenario=scenario,
+                num_writes=max(60, int((120 if scenario in ("XnF", "X") else 600) * scale)),
+            ),
+        )
+        for device in devices
+        for scenario in SCENARIOS
+    ]
+
+
+def _row(outcome):
+    extra = outcome.result.extra
+    return (
+        outcome.spec.device, extra["scenario"],
+        extra["kiops"], extra["avg_qd"], extra["max_qd"],
+    )
+
+
+def run(scale: float = 1.0, *, devices: tuple[str, ...] = DEVICES, jobs: int = 1) -> ExperimentResult:
     """Run the Fig. 9 sweep and return its table."""
-    result = ExperimentResult(
+    return run_matrix(
         name="Fig. 9 — 4KB random write, ordering schemes",
         description="KIOPS and average device queue depth per scenario",
         columns=("device", "scenario", "kiops", "avg_qd", "max_qd"),
+        specs=_specs(scale, devices),
+        row=_row,
+        notes="paper: B >= 2x X, B within 1-25% of P, XnF smallest; QD ~1 for X, ~max for B",
+        jobs=jobs,
     )
-    for device in devices:
-        for scenario in SCENARIOS:
-            writes = max(60, int((120 if scenario in ("XnF", "X") else 600) * scale))
-            run_result = run_scenario(scenario, device, num_writes=writes)
-            result.add_row(
-                device, scenario, run_result.kiops,
-                run_result.mean_queue_depth, run_result.max_queue_depth,
-            )
-    result.notes = "paper: B >= 2x X, B within 1-25% of P, XnF smallest; QD ~1 for X, ~max for B"
-    return result

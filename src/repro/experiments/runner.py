@@ -1,12 +1,25 @@
-"""Run every experiment and print the tables (see EXPERIMENTS.md).
+"""Run the paper's experiments — or any ad-hoc scenario matrix.
+
+Two command-line modes (see ``docs/EXPERIMENTS.md`` for a full guide):
+
+* ``python -m repro.experiments.runner [scale] [--only NAME] [--jobs N]``
+  regenerates the eleven published tables;
+* ``python -m repro.experiments.runner sweep --workload W --config C
+  --device D ...`` expands the given axes into a scenario matrix that may
+  exist in no experiment module and tabulates it.
+
+Both accept ``--format table|json|csv`` and ``--output PATH`` so results can
+be diffed and archived as CI artifacts.
 
 The experiments are mutually independent — each builds its own simulator and
 IO stacks — so :func:`run_all` can fan them out across worker processes with
-``jobs=N`` (or ``--jobs N`` on the command line).  Experiments must draw all
-randomness from explicitly seeded ``random.Random`` instances (they do; see
-e.g. ``blocklevel.run_scenario``), which is what makes the tables identical
-whether the suite runs serially or in parallel;
-``tests/experiments/test_determinism.py`` pins that property.
+``jobs=N``, and each experiment additionally shards its *own* spec matrix
+with ``run(jobs=N)``.  Experiments must draw all randomness from explicitly
+seeded ``random.Random`` instances (they do; the scenario layer threads
+``ScenarioSpec.seed`` through stacks and workloads), which is what makes the
+tables identical whether a sweep runs serially or in parallel;
+``tests/experiments/test_determinism.py`` and ``tests/scenarios`` pin that
+property.
 """
 
 from __future__ import annotations
@@ -84,13 +97,196 @@ def run_all(
         return list(pool.map(run_experiment, selected, [scale] * len(selected)))
 
 
+def _render(results: list[ExperimentResult], fmt: str) -> str:
+    """Render result tables in the requested output format."""
+    if fmt == "json":
+        import json
+
+        return json.dumps([result.to_dict() for result in results], indent=2)
+    if fmt == "csv":
+        return "\n".join(
+            f"# {result.name}\n{result.to_csv()}" for result in results
+        )
+    return "\n\n".join(str(result) for result in results)
+
+
+def _emit(results: list[ExperimentResult], fmt: str, output: str | None) -> None:
+    rendered = _render(results, fmt)
+    if output:
+        with open(output, "w") as handle:
+            handle.write(rendered)
+            if not rendered.endswith("\n"):
+                handle.write("\n")
+    else:
+        print(rendered)
+
+
+def _add_output_arguments(parser) -> None:
+    parser.add_argument(
+        "--format",
+        choices=("table", "json", "csv"),
+        default="table",
+        help="output format (default: aligned plain-text tables)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        help="write the rendered results to a file instead of stdout",
+    )
+
+
+def _parse_param(text: str) -> tuple[str, object]:
+    """Parse a ``--param key=value`` pair, literal-evaluating the value."""
+    import ast
+
+    key, separator, raw = text.partition("=")
+    if not separator or not key:
+        raise ValueError(f"--param expects key=value, got {text!r}")
+    try:
+        value: object = ast.literal_eval(raw)
+    except (ValueError, SyntaxError):
+        value = raw
+    return key, value
+
+
+def sweep_main(argv: list[str] | None = None) -> None:
+    """``runner sweep``: run an arbitrary config × device × workload matrix."""
+    import argparse
+
+    from repro.scenarios import DEVICES, STACK_CONFIGS, WORKLOADS, sweep, sweep_table
+    from repro.storage.barrier_modes import BarrierMode
+
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner sweep",
+        description=(
+            "Expand stack-config/device/workload axis lists into a scenario "
+            "matrix and tabulate it — no experiment module required."
+        ),
+    )
+    parser.add_argument(
+        "-w", "--workload", action="append", metavar="NAME",
+        help=f"workload axis (repeatable); one of {WORKLOADS.names()}",
+    )
+    parser.add_argument(
+        "-c", "--config", action="append", metavar="NAME",
+        help=f"stack-configuration axis (repeatable); one of {STACK_CONFIGS.names()}",
+    )
+    parser.add_argument(
+        "-d", "--device", action="append", metavar="NAME",
+        help="device axis (repeatable); evaluation devices or Fig. 1 labels",
+    )
+    parser.add_argument(
+        "--scheduler", action="append", metavar="NAME",
+        help="block-scheduler axis (repeatable); default: the config's choice",
+    )
+    parser.add_argument(
+        "--barrier-mode", action="append", metavar="MODE",
+        choices=[mode.value for mode in BarrierMode],
+        help="storage barrier-mode axis (repeatable); default: the device's choice",
+    )
+    parser.add_argument(
+        "--seed", action="append", type=int, metavar="N",
+        help="seed axis (repeatable, default 0)",
+    )
+    parser.add_argument(
+        "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="workload parameter, literal-evaluated (repeatable)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="iteration-count multiplier (default 1.0)",
+    )
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes; specs are sharded individually (default 1)",
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list the registered configs, devices and workloads, then exit",
+    )
+    _add_output_arguments(parser)
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print(f"stack configs: {', '.join(STACK_CONFIGS.names())}")
+        print(f"devices:       {', '.join(DEVICES.names())}")
+        print(f"workloads:     {', '.join(WORKLOADS.names())}")
+        return
+    if not args.workload:
+        parser.error("at least one --workload is required (or use --list)")
+
+    try:
+        params = dict(_parse_param(item) for item in args.param)
+    except ValueError as error:
+        parser.error(str(error))
+
+    # Each --param goes to the workloads that accept it (so sqlite's
+    # inserts= can ride alongside sync-loop's calls= in one matrix); a key
+    # no selected workload accepts is a usage error.
+    accepted_by = {
+        name: set(WORKLOADS.get(name).PARAMS) for name in set(args.workload)
+    }
+    orphans = sorted(
+        key for key in params
+        if not any(key in accepted for accepted in accepted_by.values())
+    )
+    if orphans:
+        parser.error(
+            f"--param keys {orphans} are accepted by none of the selected "
+            f"workloads {sorted(accepted_by)}"
+        )
+
+    specs = sweep(
+        workloads=args.workload,
+        configs=args.config or ["EXT4-DR"],
+        devices=args.device or ["plain-ssd"],
+        schedulers=args.scheduler or [None],
+        barrier_modes=args.barrier_mode or [None],
+        seeds=args.seed or [0],
+        scale=args.scale,
+    )
+
+    # Stack axes mean nothing to raw-block workloads: normalise them away
+    # and collapse the duplicate specs the product would otherwise yield.
+    normalized, seen = [], set()
+    for spec in specs:
+        if not WORKLOADS.get(spec.workload).needs_stack:
+            spec = spec.with_(config=None, scheduler=None, barrier_mode=None)
+        spec = spec.with_(params={
+            key: value for key, value in params.items()
+            if key in accepted_by[spec.workload]
+        })
+        # Dedupe by repr: param values may be unhashable literals (lists).
+        key = repr(spec)
+        if key in seen:
+            continue
+        seen.add(key)
+        normalized.append(spec)
+    specs = normalized
+    result = sweep_table(
+        specs,
+        jobs=args.jobs,
+        description=f"ad-hoc scenario sweep ({len(specs)} scenarios)",
+    )
+    _emit([result], args.format, args.output)
+
+
 def main(argv: list[str] | None = None) -> None:
     """Command-line entry point: ``python -m repro.experiments.runner``."""
     import argparse
+    import sys
+
+    arguments = list(sys.argv[1:]) if argv is None else list(argv)
+    if arguments and arguments[0] == "sweep":
+        sweep_main(arguments[1:])
+        return
 
     parser = argparse.ArgumentParser(
         prog="repro.experiments.runner",
-        description="Regenerate the paper's tables and figures.",
+        description=(
+            "Regenerate the paper's tables and figures "
+            "(or run `... runner sweep --help` for ad-hoc matrices)."
+        ),
     )
     parser.add_argument(
         "scale",
@@ -112,11 +308,10 @@ def main(argv: list[str] | None = None) -> None:
         metavar="NAME",
         help="run only the named experiment (repeatable)",
     )
-    args = parser.parse_args(argv)
+    _add_output_arguments(parser)
+    args = parser.parse_args(arguments)
     results = run_all(args.scale, names=args.only, jobs=args.jobs)
-    for result in results:
-        print(result)
-        print()
+    _emit(results, args.format, args.output)
 
 
 if __name__ == "__main__":  # pragma: no cover

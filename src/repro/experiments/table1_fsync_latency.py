@@ -8,35 +8,46 @@ SSDs (more on UFS) and cuts the 99.99th-percentile tail as well.
 
 from __future__ import annotations
 
-from repro.analysis.measure import measure_sync_latency
 from repro.analysis.reporting import ExperimentResult
-from repro.core.stack import build_stack, standard_config
+from repro.scenarios import ScenarioSpec, run_matrix
 from repro.simulation.engine import MSEC
 
 DEVICES = ("ufs", "plain-ssd", "supercap-ssd")
 CONFIGS = ("EXT4-DR", "BFS-DR")
 
 
-def run(scale: float = 1.0, *, devices: tuple[str, ...] = DEVICES) -> ExperimentResult:
+def _specs(scale: float, devices: tuple[str, ...]) -> list[ScenarioSpec]:
+    calls = max(50, int(200 * scale))
+    return [
+        ScenarioSpec(
+            workload="sync-loop", config=config, device=device,
+            params=dict(calls=calls, sync_call="fsync", allocating=True),
+        )
+        for device in devices
+        for config in CONFIGS
+    ]
+
+
+def _row(outcome):
+    summary = outcome.result.latencies.summary()
+    return (
+        outcome.spec.device, outcome.spec.config,
+        summary.mean / MSEC, summary.median / MSEC,
+        summary.p99 / MSEC, summary.p999 / MSEC, summary.p9999 / MSEC,
+    )
+
+
+def run(scale: float = 1.0, *, devices: tuple[str, ...] = DEVICES, jobs: int = 1) -> ExperimentResult:
     """Run the Table 1 latency measurement and return its table."""
-    result = ExperimentResult(
+    return run_matrix(
         name="Table 1 — fsync() latency (ms)",
         description="4KB allocating write + fsync(); latency statistics per device and filesystem",
         columns=("device", "config", "mean_ms", "median_ms", "p99_ms", "p99.9_ms", "p99.99_ms"),
+        specs=_specs(scale, devices),
+        row=_row,
+        notes=(
+            "paper (mean, ms): UFS 1.29 vs 0.51; plain-SSD 5.95 vs 3.52; "
+            "supercap 0.15 vs 0.09"
+        ),
+        jobs=jobs,
     )
-    calls = max(50, int(200 * scale))
-    for device in devices:
-        for config_name in CONFIGS:
-            stack = build_stack(standard_config(config_name, device))
-            loop = measure_sync_latency(stack, calls=calls, sync_call="fsync", allocating=True)
-            summary = loop.latencies.summary()
-            result.add_row(
-                device, config_name,
-                summary.mean / MSEC, summary.median / MSEC,
-                summary.p99 / MSEC, summary.p999 / MSEC, summary.p9999 / MSEC,
-            )
-    result.notes = (
-        "paper (mean, ms): UFS 1.29 vs 0.51; plain-SSD 5.95 vs 3.52; "
-        "supercap 0.15 vs 0.09"
-    )
-    return result

@@ -1,0 +1,73 @@
+"""A tiny named registry, the backbone of the scenario layer.
+
+Three registries are built on this class: stack configurations
+(:data:`repro.scenarios.stacks.STACK_CONFIGS`), device profiles
+(:data:`repro.scenarios.stacks.DEVICES`) and workloads
+(:data:`repro.scenarios.workloads.WORKLOADS`).  They all share the same
+contract: ``register`` refuses duplicates, ``get`` raises a ``KeyError``
+that lists the valid names, and ``names`` returns a sorted list so error
+messages and ``--list`` output are deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+class Registry(Generic[T]):
+    """Name -> entry mapping with helpful unknown-name errors."""
+
+    def __init__(self, kind: str):
+        #: What the registry holds ("stack configuration", "workload", ...);
+        #: used in error messages.
+        self.kind = kind
+        self._entries: dict[str, T] = {}
+
+    def register(self, name: str, entry: T | None = None):
+        """Register ``entry`` under ``name``; usable as a decorator.
+
+        ``register("x", value)`` registers directly; ``@register("x")``
+        registers the decorated object and returns it unchanged.
+        """
+        if entry is not None:
+            self._add(name, entry)
+            return entry
+
+        def decorator(obj: T) -> T:
+            self._add(name, obj)
+            return obj
+
+        return decorator
+
+    def _add(self, name: str, entry: T) -> None:
+        if name in self._entries:
+            raise ValueError(f"duplicate {self.kind} name {name!r}")
+        self._entries[name] = entry
+
+    def get(self, name: str) -> T:
+        """Look up an entry, raising a KeyError that lists valid names."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown {self.kind} {name!r}; choose from {self.names()}"
+            ) from None
+
+    def names(self) -> list[str]:
+        """Sorted list of registered names."""
+        return sorted(self._entries)
+
+    def items(self) -> list[tuple[str, T]]:
+        """(name, entry) pairs in name order."""
+        return [(name, self._entries[name]) for name in self.names()]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,58 @@
+"""Registries for the stack-configuration and device axes of a scenario.
+
+The named stack configurations of the paper's evaluation (EXT4-DR, EXT4-OD,
+BFS-DR, BFS-OD, OptFS) used to live as a private table inside
+``repro.core.stack``; they are now entries in :data:`STACK_CONFIGS`, so new
+configurations can be registered without touching the core layer
+(:func:`register_stack_config`).  The devices — the three evaluation devices
+plus the Fig. 1 line-up — are mirrored from ``repro.storage.profiles`` into
+:data:`DEVICES` so the sweep engine can validate and enumerate them the same
+way it does configurations and workloads.
+"""
+
+from __future__ import annotations
+
+from repro.core.stack import StackConfig
+from repro.scenarios.registry import Registry
+from repro.storage.profiles import DEVICE_PROFILES, FIG1_DEVICES, DeviceProfile
+
+#: Named stack configurations: name -> factory(device, **overrides) -> StackConfig.
+STACK_CONFIGS: Registry = Registry("stack configuration")
+
+#: Named device profiles (evaluation devices + the Fig. 1 labels A-G, HDD).
+DEVICES: Registry[DeviceProfile] = Registry("device")
+
+
+def register_stack_config(name: str, **base) -> None:
+    """Register a named stack configuration from its StackConfig parameters."""
+
+    def factory(device: str = "plain-ssd", **overrides) -> StackConfig:
+        params = dict(base)
+        params.update(overrides)
+        return StackConfig(device=device, **params)
+
+    factory.__name__ = f"stack_config_{name}"
+    STACK_CONFIGS.register(name, factory)
+
+
+# The five configurations the paper compares.  ``*-OD`` and ``OptFS`` differ
+# from their ``*-DR`` counterparts only in which system call the workload
+# issues, recorded in ``StackConfig.sync_call``.
+register_stack_config("EXT4-DR", filesystem="ext4", no_barrier=False, sync_call="fsync")
+register_stack_config("EXT4-OD", filesystem="ext4", no_barrier=True, sync_call="fsync")
+register_stack_config("BFS-DR", filesystem="barrierfs", sync_call="fsync")
+register_stack_config("BFS-OD", filesystem="barrierfs", sync_call="fbarrier")
+register_stack_config("OptFS", filesystem="optfs", sync_call="osync")
+
+for _name, _profile in {**DEVICE_PROFILES, **FIG1_DEVICES}.items():
+    DEVICES.register(_name, _profile)
+
+
+def stack_config(name: str, device: str = "plain-ssd", **overrides) -> StackConfig:
+    """Resolve a named stack configuration to a :class:`StackConfig`."""
+    return STACK_CONFIGS.get(name)(device, **overrides)
+
+
+def device_profile(name: str) -> DeviceProfile:
+    """Resolve a device name to its profile via the registry."""
+    return DEVICES.get(name)

@@ -1,0 +1,126 @@
+"""The unified Workload protocol: uniform results and seed threading."""
+
+import random
+
+import pytest
+
+from repro.scenarios import (
+    WORKLOADS,
+    ScenarioSpec,
+    WorkloadResult,
+    prepare_spec,
+    run_spec,
+    sweep_table,
+)
+
+#: One cheap spec per registered workload, exercising the whole registry.
+SMALL_SPECS = {
+    "sync-loop": ScenarioSpec(
+        workload="sync-loop", config="BFS-DR", params={"calls": 5}
+    ),
+    "fxmark": ScenarioSpec(
+        workload="fxmark", config="BFS-DR",
+        params={"num_threads": 2, "ops_per_thread": 3},
+    ),
+    "mysql": ScenarioSpec(workload="mysql", params={"transactions": 4}),
+    "sqlite": ScenarioSpec(workload="sqlite", params={"inserts": 4}),
+    "varmail": ScenarioSpec(
+        workload="varmail", params={"iterations": 3, "num_threads": 1}
+    ),
+    "blocklevel": ScenarioSpec(
+        workload="blocklevel", config=None,
+        params={"scenario": "X", "num_writes": 10},
+    ),
+    "ordered-vs-buffered": ScenarioSpec(
+        workload="ordered-vs-buffered", config=None, device="A",
+        params={"num_writes": 25},
+    ),
+}
+
+
+class TestProtocolUniformity:
+    def test_every_registered_workload_has_a_small_spec(self):
+        assert set(SMALL_SPECS) == set(WORKLOADS.names())
+
+    @pytest.mark.parametrize("name", sorted(SMALL_SPECS))
+    def test_uniform_workload_result(self, name):
+        outcome = run_spec(SMALL_SPECS[name])
+        result = outcome.result
+        assert isinstance(result, WorkloadResult)
+        assert result.workload == name
+        assert result.operations > 0
+        assert result.elapsed_usec >= 0.0
+        assert result.ops_per_second >= 0.0
+        if result.latencies is not None:
+            assert result.latency_summary().count == len(result.latencies)
+
+    def test_name_matches_registry_key(self):
+        for name, workload_class in WORKLOADS.items():
+            assert workload_class.name == name
+
+    def test_unknown_parameters_rejected_with_accepted_list(self):
+        sqlite_class = WORKLOADS.get("sqlite")
+        with pytest.raises(ValueError, match=r"unknown parameters \['insrts'\]"):
+            sqlite_class(insrts=5)
+
+    def test_stackless_workloads_get_device_not_stack(self):
+        workload = prepare_spec(SMALL_SPECS["blocklevel"])
+        assert workload.stack is None
+        assert workload.device == "plain-ssd"
+
+    def test_stack_workloads_get_a_built_stack(self):
+        workload = prepare_spec(SMALL_SPECS["sync-loop"])
+        assert workload.stack is not None
+        assert workload.stack.fs.name == "barrierfs"
+
+
+class TestSeedThreading:
+    def test_spec_seed_reaches_stack_config_and_workload_rng(self):
+        spec = SMALL_SPECS["varmail"].with_(seed=123)
+        workload = prepare_spec(spec)
+        assert workload.seed == 123
+        assert workload.stack.config.seed == 123
+        assert workload.rng.random() == random.Random(123).random()
+
+    @pytest.mark.parametrize("name", sorted(SMALL_SPECS))
+    def test_same_seed_same_table_rows(self, name):
+        spec = SMALL_SPECS[name].with_(seed=9)
+        first = sweep_table([spec])
+        second = sweep_table([spec])
+        assert first.rows == second.rows
+
+    def test_explicit_zero_params_are_honored_not_defaulted(self, monkeypatch):
+        # `calls=0` must run zero calls, not fall back to the scaled default.
+        outcome = run_spec(SMALL_SPECS["sync-loop"].with_(params={"calls": 0}))
+        assert outcome.result.operations == 0
+
+        # `seed=0` must reach the varmail model, not be swallowed by the
+        # historical +7 offset.
+        import repro.scenarios.workloads as workloads_module
+
+        captured = {}
+        original = workloads_module.VarmailWorkload
+
+        class Spy(original):
+            def __init__(self, stack, **kwargs):
+                captured.update(kwargs)
+                super().__init__(stack, **kwargs)
+
+        monkeypatch.setattr(workloads_module, "VarmailWorkload", Spy)
+        run_spec(SMALL_SPECS["varmail"].with_(
+            params={"iterations": 2, "num_threads": 1, "seed": 0}
+        ))
+        assert captured["seed"] == 0
+        run_spec(SMALL_SPECS["varmail"].with_(
+            params={"iterations": 2, "num_threads": 1}
+        ))
+        assert captured["seed"] == 7  # default: spec seed 0 + offset
+
+    def test_default_seed_preserves_historical_varmail_stream(self):
+        # varmail's model predates seed threading with a default seed of 7;
+        # the scenario layer derives its RNG as seed + 7 so the published
+        # Fig. 15 numbers stay bit-identical at the default spec seed of 0.
+        varmail_class = WORKLOADS.get("varmail")
+        assert varmail_class.SEED_OFFSET == 7
+        blocklevel_class = WORKLOADS.get("blocklevel")
+        assert blocklevel_class.SEED_OFFSET == 1
