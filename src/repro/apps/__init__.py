@@ -14,6 +14,10 @@ ordering rather than durability.
   create/append/fsync/delete mail workload.
 * :mod:`repro.apps.fxmark` — fxmark DWSL: per-thread private files, 4 KiB
   allocating write + fsync, used for the journaling-scalability experiment.
+* :mod:`repro.apps.postgres` — PostgreSQL WAL writer: per-commit WAL
+  append + fsync with periodic checkpoint write-back.
+* :mod:`repro.apps.rocksdb` — RocksDB memtable flushes and multi-file
+  compactions: whole-file SST writes ordered before MANIFEST edits.
 * :mod:`repro.apps.syncpolicy` — maps "durability" vs "ordering" guarantees
   onto the sync calls each filesystem offers (fsync/fdatasync vs
   fbarrier/fdatabarrier vs osync).
@@ -21,6 +25,8 @@ ordering rather than durability.
 
 from repro.apps.fxmark import FxmarkDWSL, FxmarkResult
 from repro.apps.mysql import MySQLOLTPInsert, OLTPResult
+from repro.apps.postgres import PostgresWALResult, PostgresWALWorkload
+from repro.apps.rocksdb import RocksDBCompactionWorkload, RocksDBResult
 from repro.apps.sqlite import SQLiteJournalMode, SQLiteResult, SQLiteWorkload
 from repro.apps.syncpolicy import Guarantee, SyncPolicy
 from repro.apps.varmail import VarmailResult, VarmailWorkload
@@ -31,6 +37,10 @@ __all__ = [
     "Guarantee",
     "MySQLOLTPInsert",
     "OLTPResult",
+    "PostgresWALResult",
+    "PostgresWALWorkload",
+    "RocksDBCompactionWorkload",
+    "RocksDBResult",
     "SQLiteJournalMode",
     "SQLiteResult",
     "SQLiteWorkload",

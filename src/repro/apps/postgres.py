@@ -1,0 +1,121 @@
+"""PostgreSQL WAL workload model.
+
+PostgreSQL's durability traffic is dominated by the write-ahead log: every
+commit appends WAL records and fsyncs the current WAL segment (the
+transaction's durability point), while a background checkpointer
+periodically writes dirty heap pages back to the relation files and then
+logs a checkpoint record — the heap write-back only needs *ordering* with
+respect to the checkpoint record, which is exactly the distinction the
+barrier-enabled stack exploits (the same transformation the paper applies
+to SQLite and MySQL).
+
+Modelled file accesses per commit:
+
+1. append ``wal_pages_per_commit`` pages to the WAL segment and sync it with
+   a durability guarantee;
+2. every ``checkpoint_every`` commits: overwrite ``checkpoint_pages`` dirty
+   heap pages in the relation file, sync them with an ordering guarantee,
+   then append the checkpoint record to the WAL and sync it durably.
+
+Throughput is reported as commits per second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.syncpolicy import Guarantee, SyncPolicy
+from repro.core.stack import IOStack
+from repro.simulation.stats import LatencyRecorder
+
+#: The WAL segment every commit appends to (append-only; crashlab's
+#: committed-log-prefix oracle checks it after a crash).
+WAL_FILE = "pg/pg_wal/000000010000000000000001"
+#: The heap relation file the checkpointer overwrites.
+HEAP_FILE = "pg/base/16384/2608"
+#: Preallocated size of the heap file, and the point at which the
+#: checkpoint cursor wraps.  The wrap must stay at least one checkpoint's
+#: worth of pages below the preallocation so checkpoint overwrites never
+#: allocate (allocating writes would journal metadata per checkpoint).
+HEAP_PAGES = 16384
+HEAP_CURSOR_WRAP = 16000
+
+
+@dataclass
+class PostgresWALResult:
+    """Outcome of one postgres-wal run."""
+
+    commits: int
+    elapsed_usec: float
+    latencies: LatencyRecorder = field(default_factory=lambda: LatencyRecorder("commit"))
+
+    @property
+    def commits_per_second(self) -> float:
+        """Committed transactions per second of simulated time."""
+        if self.elapsed_usec <= 0:
+            return 0.0
+        return self.commits / (self.elapsed_usec / 1_000_000.0)
+
+
+class PostgresWALWorkload:
+    """WAL append + fsync with periodic checkpoints, against a simulated stack."""
+
+    def __init__(
+        self,
+        stack: IOStack,
+        *,
+        relax_durability: bool = False,
+        wal_pages_per_commit: int = 1,
+        checkpoint_every: int = 16,
+        checkpoint_pages: int = 24,
+        cpu_per_commit: float = 90.0,
+    ):
+        self.stack = stack
+        self.policy = SyncPolicy(stack.fs, relax_durability=relax_durability)
+        self.wal_pages_per_commit = wal_pages_per_commit
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_pages = checkpoint_pages
+        #: Host CPU work per commit (executor + WAL insert), microseconds.
+        self.cpu_per_commit = cpu_per_commit
+
+    def run(self, num_commits: int) -> PostgresWALResult:
+        """Execute ``num_commits`` transactions and report throughput."""
+        result = PostgresWALResult(commits=num_commits, elapsed_usec=0.0)
+        self.stack.run_process(self._commits(num_commits, result))
+        return result
+
+    # ------------------------------------------------------------------ internals
+    def _commits(self, num_commits: int, result: PostgresWALResult):
+        fs = self.stack.fs
+        sim = self.stack.sim
+        wal = fs.create(WAL_FILE)
+        heap = fs.create(HEAP_FILE, preallocate_pages=HEAP_PAGES)
+        checkpoint_cursor = 0
+
+        start = sim.now
+        for index in range(num_commits):
+            commit_start = sim.now
+            if self.cpu_per_commit > 0:
+                yield sim.timeout(self.cpu_per_commit)
+            # WAL append: the commit's durability point.
+            fs.write(wal, self.wal_pages_per_commit)
+            yield from self.policy.sync(wal, Guarantee.DURABILITY, issuer="walwriter")
+
+            if (index + 1) % self.checkpoint_every == 0:
+                # Dirty heap pages written back in place (overwrites), then
+                # the checkpoint record — heap before record is an ordering
+                # constraint, not a durability one.
+                fs.write(heap, self.checkpoint_pages, offset_page=checkpoint_cursor)
+                checkpoint_cursor = (
+                    checkpoint_cursor + self.checkpoint_pages
+                ) % HEAP_CURSOR_WRAP
+                yield from self.policy.sync(
+                    heap, Guarantee.ORDERING, issuer="checkpointer"
+                )
+                fs.write(wal, 1)
+                yield from self.policy.sync(
+                    wal, Guarantee.DURABILITY, issuer="checkpointer"
+                )
+            result.latencies.record(sim.now - commit_start)
+        result.elapsed_usec = sim.now - start
+        return result

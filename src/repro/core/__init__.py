@@ -14,21 +14,35 @@
 from repro.core.orders import OrderRecord, OrderTracker
 from repro.core.stack import IOStack, StackConfig, build_stack, standard_config
 from repro.core.verification import (
+    ORACLES,
+    CrashProbe,
+    Oracle,
     VerificationError,
+    applicable_oracles,
+    journal_transactions,
+    register_oracle,
     verify_dispatch_preserves_epochs,
     verify_epoch_prefix,
     verify_journal_recovery,
+    verify_storage_order_prefix,
 )
 
 __all__ = [
     "IOStack",
+    "ORACLES",
+    "CrashProbe",
+    "Oracle",
     "OrderRecord",
     "OrderTracker",
     "StackConfig",
     "VerificationError",
+    "applicable_oracles",
     "build_stack",
+    "journal_transactions",
+    "register_oracle",
     "standard_config",
     "verify_dispatch_preserves_epochs",
     "verify_epoch_prefix",
     "verify_journal_recovery",
+    "verify_storage_order_prefix",
 ]

@@ -1,0 +1,218 @@
+"""The crash-exploration engine: replay, verify, shard, merge.
+
+One *cell* is a :class:`~repro.scenarios.ScenarioSpec`; exploring it means:
+
+1. **Record** — run the spec once with an observing tap and collect every
+   IO boundary (:func:`repro.crashlab.points.record_boundaries`).
+2. **Select** — turn the boundary list into crash points (exhaustive /
+   stratified budgets, or adaptive bisection).
+3. **Replay & verify** — for each point, rebuild the stack from scratch,
+   re-run the workload until the device hits that boundary, cut power,
+   reconstruct the durable state with
+   :func:`repro.storage.crash.recover_durable_blocks` and run every
+   applicable oracle from the registry
+   (:data:`repro.core.verification.ORACLES`).
+
+Each replay is an independent, seeded simulation, so step 3 shards across
+worker processes exactly like ``repro.scenarios.run_specs(jobs=N)``: points
+are fanned out with ``ProcessPoolExecutor.map`` (order-preserving) and the
+merged report is bit-identical for any ``jobs`` value — pinned by
+``tests/crashlab``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.verification import CrashProbe, VerificationError, applicable_oracles
+from repro.crashlab import oracles as _workload_oracles  # noqa: F401 - registers oracles
+from repro.crashlab.points import (
+    CrashPointReached,
+    CrashTrigger,
+    evenly_spaced,
+    record_boundaries,
+    select_points,
+)
+from repro.crashlab.report import CellReport, OracleVerdict, PointVerdict
+from repro.storage.crash import CrashBoundary, recover_durable_blocks
+
+
+def replay_to_point(spec, index: int) -> tuple[CrashProbe, Optional[CrashBoundary]]:
+    """Re-run ``spec`` until boundary ``index``, crash, and recover.
+
+    Returns the probe (crash state + crashed stack) and the boundary the
+    crash landed on — ``None`` when the run finished before reaching
+    ``index`` (the probe then describes the end-of-run state).
+    """
+    from repro.scenarios import prepare_spec
+
+    workload = prepare_spec(spec)
+    stack = workload.stack
+    trigger = CrashTrigger(stack.device, index)
+    stack.device.crash_tap = trigger
+    boundary: Optional[CrashBoundary] = None
+    try:
+        workload.run()
+    except CrashPointReached as crash:
+        boundary = crash.boundary
+    finally:
+        stack.device.crash_tap = None
+    stack.device.power_off()
+    state = recover_durable_blocks(stack.device)
+    probe = CrashProbe.from_stack(state, stack, spec=spec, workload=workload)
+    return probe, boundary
+
+
+def check_point(spec, index: int) -> PointVerdict:
+    """Replay one crash point and run every applicable oracle.
+
+    Module-level and picklable-by-reference: this is the unit of work the
+    process pool distributes.
+    """
+    probe, boundary = replay_to_point(spec, index)
+    verdicts = []
+    for oracle in applicable_oracles(probe):
+        passed, witness = True, None
+        try:
+            oracle.check(probe)
+        except VerificationError as error:
+            passed, witness = False, str(error)
+        verdicts.append(
+            OracleVerdict(
+                oracle=oracle.name,
+                passed=passed,
+                guaranteed=bool(oracle.guaranteed(probe)),
+                witness=witness,
+            )
+        )
+    return PointVerdict(
+        index=index,
+        kind=boundary.kind if boundary is not None else "end-of-run",
+        time=boundary.time if boundary is not None else probe.state.crash_time,
+        verdicts=tuple(verdicts),
+    )
+
+
+def _check_points(spec, indices: Sequence[int], *, jobs: int) -> list[PointVerdict]:
+    """Evaluate crash points, fanning out over worker processes if asked.
+
+    ``map()`` preserves input order and each replay is self-contained, so
+    the verdict list is identical for any job count.
+    """
+    indices = list(indices)
+    if jobs <= 1 or len(indices) <= 1:
+        return [check_point(spec, index) for index in indices]
+
+    from concurrent.futures import ProcessPoolExecutor
+
+    workers = min(jobs, len(indices))
+    chunksize = max(1, len(indices) // (workers * 4))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(
+            pool.map(check_point, [spec] * len(indices), indices, chunksize=chunksize)
+        )
+
+
+def _bisect(spec, total: int, *, points: Optional[int] = None) -> list[PointVerdict]:
+    """Narrow to the earliest failing boundary: scout, then binary-refine.
+
+    Crash violations are not monotone over the boundary index — a run
+    typically ends clean once the final drain completes — so a plain binary
+    search has nothing to anchor on.  Instead the engine *scouts* with
+    evenly spaced probes at doubling density (up to the ``points`` budget,
+    default 32) until some probe fails, then binary-searches the gap between
+    that failure and the nearest passing probe below it.  The result is a
+    failing boundary whose immediate predecessor passes — the earliest
+    failure up to local monotonicity.  Probes run serially because each one
+    decides the next.
+    """
+    evaluated: dict[int, PointVerdict] = {}
+
+    def fails(index: int) -> bool:
+        if index not in evaluated:
+            evaluated[index] = check_point(spec, index)
+        return bool(evaluated[index].violations)
+
+    if total == 0:
+        return []
+    budget = min(points if points is not None else 32, total)
+
+    earliest_failure: Optional[int] = None
+    density = min(8, budget)
+    while True:
+        # Scout below the earliest failure known so far (the whole range at
+        # first); every new failure strictly shrinks the scouted range, every
+        # clean pass doubles the density, and probes are cached.
+        limit = earliest_failure if earliest_failure is not None else total
+        found = None
+        if limit > 0:
+            for index in evenly_spaced(limit, min(density, limit)):
+                if fails(index):
+                    found = index
+                    break
+        if found is not None:
+            earliest_failure = found
+            continue
+        if density >= budget:
+            break
+        density = min(density * 2, budget)
+    if earliest_failure is None:
+        return [evaluated[index] for index in sorted(evaluated)]
+
+    low = max(
+        (index for index in evaluated if index < earliest_failure and not fails(index)),
+        default=-1,
+    )
+    high = earliest_failure
+    while high - low > 1:
+        mid = (low + high) // 2
+        if fails(mid):
+            high = mid
+        else:
+            low = mid
+    return [evaluated[index] for index in sorted(evaluated)]
+
+
+def explore(
+    spec,
+    *,
+    strategy: str = "exhaustive",
+    points: Optional[int] = None,
+    seed: int = 0,
+    jobs: int = 1,
+) -> CellReport:
+    """Explore one scenario cell and return its :class:`CellReport`."""
+    if points is not None and points < 1:
+        raise ValueError(f"the crash-point budget must be at least 1, got {points}")
+    boundaries = record_boundaries(spec)
+    if strategy == "bisect":
+        verdicts = _bisect(spec, len(boundaries), points=points)
+    else:
+        indices = select_points(strategy, boundaries, points=points, seed=seed)
+        verdicts = _check_points(spec, indices, jobs=jobs)
+    return CellReport(
+        spec=spec,
+        strategy=strategy,
+        seed=seed,
+        boundaries_total=len(boundaries),
+        points=verdicts,
+    )
+
+
+def explore_cells(
+    specs: Sequence,
+    *,
+    strategy: str = "exhaustive",
+    points: Optional[int] = None,
+    seed: int = 0,
+    jobs: int = 1,
+) -> list[CellReport]:
+    """Explore several cells (the ``runner crashcheck`` matrix), in order.
+
+    Points shard across processes within each cell; cells run in sequence so
+    the worker pool is never oversubscribed.
+    """
+    return [
+        explore(spec, strategy=strategy, points=points, seed=seed, jobs=jobs)
+        for spec in specs
+    ]

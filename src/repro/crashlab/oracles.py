@@ -1,0 +1,105 @@
+"""Workload-level crash oracles.
+
+The core oracle family (:mod:`repro.core.verification`) checks device- and
+journal-level invariants.  This module adds what the *application* promised
+its users: for WAL-style workloads, a transaction is committed once its log
+append is acknowledged, so after a crash the durable part of an append-only
+log file must be a hole-free prefix of the append order — a hole means a
+committed transaction survived while an earlier committed transaction was
+lost (the committed-transaction-prefix property for sqlite/mysql/postgres
+WALs, the readable-version-history property for RocksDB's MANIFEST).
+
+The oracle is registered into the same registry as the core family, so the
+exploration engine picks it up wherever it applies; registration happens on
+import (``repro.crashlab`` imports this module).
+"""
+
+from __future__ import annotations
+
+from repro.apps.postgres import WAL_FILE as _PG_WAL_FILE
+from repro.apps.rocksdb import MANIFEST_FILE as _ROCKSDB_MANIFEST
+from repro.core.verification import CrashProbe, VerificationError, register_oracle
+
+#: Append-only log files per workload.  Only pure appends qualify — the
+#: prefix check reasons in page order, which for an append-only file is the
+#: commit order.  (SQLite's PERSIST rollback journal and the database files
+#: are overwritten in place and are covered by the journal-recovery oracle
+#: instead.)
+APPEND_LOG_FILES: dict[str, tuple[str, ...]] = {
+    "sync-loop": ("bench.dat",),
+    "sqlite": ("sqlite/main.db-wal",),
+    "mysql": ("mysql/ib_logfile0", "mysql/binlog.000001"),
+    "postgres-wal": (_PG_WAL_FILE,),
+    "rocksdb-compaction": (_ROCKSDB_MANIFEST,),
+}
+
+
+def _append_log_files(probe: CrashProbe) -> tuple[str, ...]:
+    spec = probe.spec
+    if spec is None or spec.workload not in APPEND_LOG_FILES:
+        return ()
+    if spec.workload == "sync-loop" and not bool(
+        dict(spec.params).get("allocating", True)
+    ):
+        # A non-allocating sync-loop overwrites a preallocated file in a
+        # round-robin pattern; there is no append order to check.
+        return ()
+    return APPEND_LOG_FILES[spec.workload]
+
+
+def _applies(probe: CrashProbe) -> bool:
+    return bool(_append_log_files(probe)) and getattr(probe.stack, "fs", None) is not None
+
+
+def verify_append_log_prefix(probe: CrashProbe, name: str) -> None:
+    """Check one append-only file for holes below its durable high page."""
+    fs = probe.stack.fs
+    if not fs.exists(name):
+        return
+    inode = fs.open(name).inode
+    inode_no = inode.inode_no
+
+    transferred_pages: set[int] = set()
+    for entry in probe.state.transferred:
+        block = entry.block
+        if (
+            isinstance(block, tuple)
+            and len(block) == 3
+            and block[0] == "data"
+            and block[1] == inode_no
+        ):
+            transferred_pages.add(block[2])
+    if not transferred_pages:
+        return
+    durable_pages = {
+        block[2]
+        for block in probe.state.durable_blocks
+        if isinstance(block, tuple)
+        and len(block) == 3
+        and block[0] == "data"
+        and block[1] == inode_no
+    }
+    if not durable_pages:
+        return
+    high = max(durable_pages)
+    holes = sorted(
+        page
+        for page in transferred_pages
+        if page < high and page not in durable_pages
+    )
+    if holes:
+        raise VerificationError(
+            f"committed-log prefix violated: {name} lost page {holes[0]} "
+            f"({len(holes)} hole(s)) while page {high} is durable — a later "
+            f"committed append survived an earlier one"
+        )
+
+
+@register_oracle(
+    "committed-log-prefix",
+    description="append-only log files keep a committed-transaction prefix",
+    applies=_applies,
+)
+def _oracle_committed_log_prefix(probe: CrashProbe) -> None:
+    for name in _append_log_files(probe):
+        verify_append_log_prefix(probe, name)

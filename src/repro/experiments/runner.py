@@ -1,14 +1,19 @@
 """Run the paper's experiments — or any ad-hoc scenario matrix.
 
-Two command-line modes (see ``docs/EXPERIMENTS.md`` for a full guide):
+Three command-line modes (see ``docs/EXPERIMENTS.md`` and
+``docs/CRASH_CONSISTENCY.md`` for full guides):
 
 * ``python -m repro.experiments.runner [scale] [--only NAME] [--jobs N]``
   regenerates the eleven published tables;
 * ``python -m repro.experiments.runner sweep --workload W --config C
   --device D ...`` expands the given axes into a scenario matrix that may
-  exist in no experiment module and tabulates it.
+  exist in no experiment module and tabulates it;
+* ``python -m repro.experiments.runner crashcheck --workload W
+  --barrier-mode M --strategy exhaustive`` systematically crashes every
+  cell of the given matrix at recorded IO boundaries and verifies recovery
+  (:mod:`repro.crashlab`).
 
-Both accept ``--format table|json|csv`` and ``--output PATH`` so results can
+All accept ``--format table|json|csv`` and ``--output PATH`` so results can
 be diffed and archived as CI artifacts.
 
 The experiments are mutually independent — each builds its own simulator and
@@ -149,6 +154,59 @@ def _parse_param(text: str) -> tuple[str, object]:
     return key, value
 
 
+def _route_params(parser, workloads: list[str], raw_params: list[str]):
+    """Parse ``--param`` pairs and work out which workloads accept each key.
+
+    Shared by ``sweep`` and ``crashcheck``: each key goes to the selected
+    workloads that accept it (so sqlite's ``inserts=`` can ride alongside
+    sync-loop's ``calls=`` in one matrix); a key no selected workload
+    accepts is a usage error.  Returns ``(params, accepted_by)``.
+    """
+    from repro.scenarios import WORKLOADS
+
+    try:
+        params = dict(_parse_param(item) for item in raw_params)
+    except ValueError as error:
+        parser.error(str(error))
+    try:
+        accepted_by = {
+            name: set(WORKLOADS.get(name).PARAMS) for name in set(workloads)
+        }
+    except KeyError as error:
+        parser.error(str(error.args[0]))
+    orphans = sorted(
+        key for key in params
+        if not any(key in accepted for accepted in accepted_by.values())
+    )
+    if orphans:
+        parser.error(
+            f"--param keys {orphans} are accepted by none of the selected "
+            f"workloads {sorted(accepted_by)}"
+        )
+    return params, accepted_by
+
+
+def _finalize_specs(specs, params, accepted_by):
+    """Attach routed params to each spec and collapse duplicate specs.
+
+    Repeated axis values (or stack axes normalised away on raw-block
+    workloads) would otherwise run — and report — the same cell twice.
+    Dedupe is by repr: param values may be unhashable literals (lists).
+    """
+    normalized, seen = [], set()
+    for spec in specs:
+        spec = spec.with_(params={
+            key: value for key, value in params.items()
+            if key in accepted_by[spec.workload]
+        })
+        key = repr(spec)
+        if key in seen:
+            continue
+        seen.add(key)
+        normalized.append(spec)
+    return normalized
+
+
 def sweep_main(argv: list[str] | None = None) -> None:
     """``runner sweep``: run an arbitrary config × device × workload matrix."""
     import argparse
@@ -215,26 +273,7 @@ def sweep_main(argv: list[str] | None = None) -> None:
     if not args.workload:
         parser.error("at least one --workload is required (or use --list)")
 
-    try:
-        params = dict(_parse_param(item) for item in args.param)
-    except ValueError as error:
-        parser.error(str(error))
-
-    # Each --param goes to the workloads that accept it (so sqlite's
-    # inserts= can ride alongside sync-loop's calls= in one matrix); a key
-    # no selected workload accepts is a usage error.
-    accepted_by = {
-        name: set(WORKLOADS.get(name).PARAMS) for name in set(args.workload)
-    }
-    orphans = sorted(
-        key for key in params
-        if not any(key in accepted for accepted in accepted_by.values())
-    )
-    if orphans:
-        parser.error(
-            f"--param keys {orphans} are accepted by none of the selected "
-            f"workloads {sorted(accepted_by)}"
-        )
+    params, accepted_by = _route_params(parser, args.workload, args.param)
 
     specs = sweep(
         workloads=args.workload,
@@ -246,29 +285,168 @@ def sweep_main(argv: list[str] | None = None) -> None:
         scale=args.scale,
     )
 
-    # Stack axes mean nothing to raw-block workloads: normalise them away
-    # and collapse the duplicate specs the product would otherwise yield.
-    normalized, seen = [], set()
-    for spec in specs:
-        if not WORKLOADS.get(spec.workload).needs_stack:
-            spec = spec.with_(config=None, scheduler=None, barrier_mode=None)
-        spec = spec.with_(params={
-            key: value for key, value in params.items()
-            if key in accepted_by[spec.workload]
-        })
-        # Dedupe by repr: param values may be unhashable literals (lists).
-        key = repr(spec)
-        if key in seen:
-            continue
-        seen.add(key)
-        normalized.append(spec)
-    specs = normalized
+    # Stack axes mean nothing to raw-block workloads: normalise them away so
+    # the duplicate collapse in _finalize_specs folds the product back down.
+    specs = [
+        spec.with_(config=None, scheduler=None, barrier_mode=None)
+        if not WORKLOADS.get(spec.workload).needs_stack
+        else spec
+        for spec in specs
+    ]
+    specs = _finalize_specs(specs, params, accepted_by)
     result = sweep_table(
         specs,
         jobs=args.jobs,
         description=f"ad-hoc scenario sweep ({len(specs)} scenarios)",
     )
     _emit([result], args.format, args.output)
+
+
+def crashcheck_main(argv: list[str] | None = None) -> None:
+    """``runner crashcheck``: crash every cell of a matrix and verify recovery."""
+    import argparse
+
+    from repro.core.verification import ORACLES
+    from repro.crashlab import STRATEGIES, explore_cells, summary_result, violations_result
+    from repro.scenarios import STACK_CONFIGS, WORKLOADS, sweep
+    from repro.storage.barrier_modes import BarrierMode
+
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner crashcheck",
+        description=(
+            "Systematically enumerate crash points (IO boundaries recorded in "
+            "a pre-run), replay each scenario cell up to every chosen point, "
+            "cut power, and verify recovery with the registered oracles."
+        ),
+    )
+    parser.add_argument(
+        "-w", "--workload", action="append", metavar="NAME",
+        help=f"workload axis (repeatable); filesystem workloads of {WORKLOADS.names()}",
+    )
+    parser.add_argument(
+        "-c", "--config", action="append", metavar="NAME",
+        help=f"stack-configuration axis (repeatable, default EXT4-DR); one of {STACK_CONFIGS.names()}",
+    )
+    parser.add_argument(
+        "-d", "--device", action="append", metavar="NAME",
+        help="device axis (repeatable, default plain-ssd)",
+    )
+    parser.add_argument(
+        "--scheduler", action="append", metavar="NAME",
+        help="block-scheduler axis (repeatable); default: the config's choice",
+    )
+    parser.add_argument(
+        "--barrier-mode", action="append", metavar="MODE",
+        help=(
+            "storage barrier-mode axis (repeatable; underscores and hyphens "
+            f"both accepted); one of {[mode.value for mode in BarrierMode]}; "
+            "default: the device's choice"
+        ),
+    )
+    parser.add_argument(
+        "--strategy", choices=STRATEGIES, default="exhaustive",
+        help=(
+            "crash-point selection: every recorded boundary (exhaustive), a "
+            "seeded per-kind sample (stratified), or a binary search to the "
+            "earliest failing boundary (bisect); default exhaustive"
+        ),
+    )
+    parser.add_argument(
+        "--points", type=int, metavar="N",
+        help=(
+            "crash-point budget per cell: evenly thins an exhaustive "
+            "enumeration, sets the stratified sample size (default 32); for "
+            "bisect it caps the probe density of each scout wave, not the "
+            "total — re-scouting below each found failure plus the binary "
+            "refinement can replay more points than the budget"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="seed for the scenario and the stratified sampler (default 0)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.25,
+        help=(
+            "iteration-count multiplier; crash exploration replays the "
+            "workload once per point, so the default is a reduced 0.25"
+        ),
+    )
+    parser.add_argument(
+        "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="workload parameter, literal-evaluated (repeatable)",
+    )
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help=(
+            "worker processes; crash points are sharded individually "
+            "(default 1; bisect probes are adaptive and always run serially)"
+        ),
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list the registered oracles and strategies, then exit",
+    )
+    _add_output_arguments(parser)
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print(f"strategies: {', '.join(STRATEGIES)}")
+        print("oracles:")
+        for oracle in ORACLES.values():
+            print(f"  {oracle.name:22s} {oracle.description}")
+        return
+    if not args.workload:
+        parser.error("at least one --workload is required (or use --list)")
+    if args.points is not None and args.points < 1:
+        parser.error("--points must be at least 1")
+
+    modes: list[str | None] = [None]
+    if args.barrier_mode:
+        modes = []
+        for mode in args.barrier_mode:
+            normalized = mode.replace("_", "-")
+            try:
+                modes.append(BarrierMode(normalized).value)
+            except ValueError:
+                parser.error(
+                    f"unknown barrier mode {mode!r}; choose from "
+                    f"{[m.value for m in BarrierMode]}"
+                )
+
+    for name in set(args.workload):
+        try:
+            workload_class = WORKLOADS.get(name)
+        except KeyError as error:
+            parser.error(str(error.args[0]))
+        if not workload_class.needs_stack:
+            parser.error(
+                f"workload {name!r} runs against the raw block device; "
+                "crashcheck needs a filesystem stack to crash and recover"
+            )
+    params, accepted_by = _route_params(parser, args.workload, args.param)
+
+    specs = _finalize_specs(
+        sweep(
+            workloads=args.workload,
+            configs=args.config or ["EXT4-DR"],
+            devices=args.device or ["plain-ssd"],
+            schedulers=args.scheduler or [None],
+            barrier_modes=modes,
+            seeds=[args.seed],
+            scale=args.scale,
+        ),
+        params,
+        accepted_by,
+    )
+    reports = explore_cells(
+        specs,
+        strategy=args.strategy,
+        points=args.points,
+        seed=args.seed,
+        jobs=args.jobs,
+    )
+    _emit([summary_result(reports), violations_result(reports)], args.format, args.output)
 
 
 def main(argv: list[str] | None = None) -> None:
@@ -280,12 +458,16 @@ def main(argv: list[str] | None = None) -> None:
     if arguments and arguments[0] == "sweep":
         sweep_main(arguments[1:])
         return
+    if arguments and arguments[0] == "crashcheck":
+        crashcheck_main(arguments[1:])
+        return
 
     parser = argparse.ArgumentParser(
         prog="repro.experiments.runner",
         description=(
-            "Regenerate the paper's tables and figures "
-            "(or run `... runner sweep --help` for ad-hoc matrices)."
+            "Regenerate the paper's tables and figures (or run `... runner "
+            "sweep --help` for ad-hoc matrices, `... runner crashcheck "
+            "--help` for crash-recovery checking)."
         ),
     )
     parser.add_argument(

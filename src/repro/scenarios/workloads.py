@@ -13,8 +13,11 @@ scenario meant new wiring code.  :class:`Workload` gives them one shape:
   operation counts, elapsed simulated time and a latency recorder.
 
 :data:`WORKLOADS` registers the paper's four applications, the raw
-write+sync loop of :mod:`repro.analysis.measure` and the block-level
-scenarios of :mod:`repro.experiments.blocklevel`.  Workloads whose historical
+write+sync loop of :mod:`repro.analysis.measure`, the block-level
+scenarios of :mod:`repro.experiments.blocklevel`, and two server workloads
+beyond the paper's evaluation — ``postgres-wal`` (WAL append + fsync with
+periodic checkpoints) and ``rocksdb-compaction`` (memtable flushes and
+multi-file compactions).  Workloads whose historical
 default random streams predate seed threading derive their RNG seed as a
 fixed offset from the scenario seed (varmail: +7, block-level: +1) so the
 published tables stay bit-identical at the default seed of 0.
@@ -299,6 +302,78 @@ class VarmailScenario(Workload):
             operations=outcome.operations,
             elapsed_usec=outcome.elapsed_usec,
             latencies=outcome.latencies,
+        )
+
+
+@WORKLOADS.register("postgres-wal")
+class PostgresWALScenario(Workload):
+    """PostgreSQL WAL writer: per-commit WAL fsync + periodic checkpoints."""
+
+    name = "postgres-wal"
+    PARAMS = (
+        "commits",
+        "relax_durability",
+        "wal_pages_per_commit",
+        "checkpoint_every",
+        "checkpoint_pages",
+        "cpu_per_commit",
+    )
+
+    def run(self) -> WorkloadResult:
+        from repro.apps.postgres import PostgresWALWorkload
+
+        bench = PostgresWALWorkload(
+            self.stack,
+            relax_durability=bool(self.param("relax_durability", False)),
+            wal_pages_per_commit=int(self.param("wal_pages_per_commit", 1)),
+            checkpoint_every=int(self.param("checkpoint_every", 16)),
+            checkpoint_pages=int(self.param("checkpoint_pages", 24)),
+            cpu_per_commit=float(self.param("cpu_per_commit", 90.0)),
+        )
+        outcome = bench.run(int(self.param_or("commits", self.scaled(120, 40))))
+        return WorkloadResult(
+            workload=self.name,
+            operations=outcome.commits,
+            elapsed_usec=outcome.elapsed_usec,
+            latencies=outcome.latencies,
+            extra={"journal_commits": self.stack.fs.stats.journal_commits},
+        )
+
+
+@WORKLOADS.register("rocksdb-compaction")
+class RocksDBCompactionScenario(Workload):
+    """RocksDB memtable flushes + multi-file compactions (SSTs before MANIFEST)."""
+
+    name = "rocksdb-compaction"
+    PARAMS = (
+        "flushes",
+        "relax_durability",
+        "memtable_pages",
+        "files_per_compaction",
+        "compaction_every",
+        "sst_pages",
+        "cpu_per_flush",
+    )
+
+    def run(self) -> WorkloadResult:
+        from repro.apps.rocksdb import RocksDBCompactionWorkload
+
+        bench = RocksDBCompactionWorkload(
+            self.stack,
+            relax_durability=bool(self.param("relax_durability", False)),
+            memtable_pages=int(self.param("memtable_pages", 8)),
+            files_per_compaction=int(self.param("files_per_compaction", 3)),
+            compaction_every=int(self.param("compaction_every", 4)),
+            sst_pages=int(self.param("sst_pages", 12)),
+            cpu_per_flush=float(self.param("cpu_per_flush", 150.0)),
+        )
+        outcome = bench.run(int(self.param_or("flushes", self.scaled(24, 8))))
+        return WorkloadResult(
+            workload=self.name,
+            operations=outcome.flushes,
+            elapsed_usec=outcome.elapsed_usec,
+            latencies=outcome.latencies,
+            extra={"compactions": outcome.compactions},
         )
 
 

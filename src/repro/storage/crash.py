@@ -31,9 +31,40 @@ from repro.storage.device import StorageDevice
 from repro.storage.writeback_cache import CacheEntry
 
 
+@dataclass(frozen=True)
+class CrashBoundary:
+    """One IO boundary at which a crash may be injected.
+
+    The storage device emits a boundary through its ``crash_tap`` every time
+    the durable (or transferred) state changes: after a write command's DMA
+    transfer, after a program batch reaches flash, and after a FLUSH
+    completes.  The crash-exploration subsystem (:mod:`repro.crashlab`)
+    records these during a pre-run and later replays the scenario up to any
+    boundary index — the simulation being deterministic, boundary *k* of the
+    replay is exactly boundary *k* of the recording.
+    """
+
+    #: Position in the recording (0-based, dense).
+    index: int
+    #: What happened: ``"transfer"``, ``"program"`` or ``"flush"``.
+    kind: str
+    #: Simulation time at which the boundary occurred.
+    time: float
+    #: Pages involved (transferred or programmed; 0 for flush completions).
+    pages: int = 0
+    #: Device persist epoch at the boundary.
+    epoch: int = 0
+
+
 @dataclass
 class CrashState:
-    """Durable storage contents reconstructed after a crash."""
+    """Durable storage contents reconstructed after a crash.
+
+    A :class:`CrashState` is a *snapshot*: the ``transferred``/``durable``
+    lists must not be mutated after construction (derived views such as
+    :attr:`durable_blocks` and :attr:`lost` are computed once and cached so
+    that repeated oracle calls don't re-sort or re-scan).
+    """
 
     #: Simulation time at which power was cut.
     crash_time: float
@@ -43,14 +74,30 @@ class CrashState:
     transferred: list[CacheEntry] = field(default_factory=list)
     #: The subset of ``transferred`` that survived the crash, transfer order.
     durable: list[CacheEntry] = field(default_factory=list)
+    _durable_blocks: Optional[dict] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _durable_seqs: Optional[set] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _lost: Optional[list] = field(default=None, init=False, repr=False, compare=False)
 
     @property
     def durable_blocks(self) -> dict[object, int]:
         """Map logical block -> the version that survived (latest durable)."""
-        latest: dict[object, int] = {}
-        for entry in sorted(self.durable, key=lambda item: item.transfer_seq):
-            latest[entry.block] = entry.version
-        return latest
+        if self._durable_blocks is None:
+            latest: dict[object, int] = {}
+            for entry in sorted(self.durable, key=lambda item: item.transfer_seq):
+                latest[entry.block] = entry.version
+            self._durable_blocks = latest
+        return self._durable_blocks
+
+    @property
+    def durable_seqs(self) -> set[int]:
+        """Transfer sequence numbers of the durable entries."""
+        if self._durable_seqs is None:
+            self._durable_seqs = {entry.transfer_seq for entry in self.durable}
+        return self._durable_seqs
 
     def survived(self, block: object, version: Optional[int] = None) -> bool:
         """Whether ``block`` (optionally a specific version) is durable."""
@@ -64,8 +111,14 @@ class CrashState:
     @property
     def lost(self) -> list[CacheEntry]:
         """Transferred pages that did not survive."""
-        durable_seqs = {entry.transfer_seq for entry in self.durable}
-        return [entry for entry in self.transferred if entry.transfer_seq not in durable_seqs]
+        if self._lost is None:
+            durable_seqs = self.durable_seqs
+            self._lost = [
+                entry
+                for entry in self.transferred
+                if entry.transfer_seq not in durable_seqs
+            ]
+        return self._lost
 
     def durable_epochs(self) -> list[int]:
         """Sorted list of epochs that have at least one durable page."""

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.simulation.engine import Event, Simulator
 from repro.simulation.resources import Condition
@@ -100,6 +100,15 @@ class StorageDevice:
         self._flush_group_counter = 0
         self._in_flight: set[int] = set()
         self._drain_watermark: Optional[int] = None
+        #: Crash-point tap: when set, called with the boundary kind
+        #: (``"transfer"`` / ``"program"`` / ``"flush"``) and the page count
+        #: every time the transferred or durable state changes.  The crash
+        #: exploration subsystem (:mod:`repro.crashlab`) uses it to record
+        #: boundaries during a pre-run and to cut power at an exact boundary
+        #: during a replay (by raising from inside the tap).  Must not touch
+        #: the simulation or any RNG — a tap that only observes leaves the
+        #: run bit-identical to an untapped one.
+        self.crash_tap: Optional[Callable[[str, int], None]] = None
 
         self._queue_activity = Condition(sim, name="device.queue")
         self._slot_freed = Condition(sim, name="device.slot")
@@ -228,6 +237,8 @@ class StorageDevice:
         self.stats.pages_transferred += command.num_pages
         command.transferred.succeed(command)
         self._cache_work.notify_all()
+        if self.crash_tap is not None:
+            self.crash_tap("transfer", command.num_pages)
 
         if command.is_fua:
             self.stats.fua_writes += 1
@@ -257,6 +268,8 @@ class StorageDevice:
         for entry in pending:
             self._in_flight.discard(entry.transfer_seq)
         self._durability_advanced.notify_all()
+        if self.crash_tap is not None:
+            self.crash_tap("program", len(pending))
 
     def _service_flush(self, command: Command):
         watermark = self._dirty_watermark()
@@ -267,6 +280,8 @@ class StorageDevice:
         command.complete_time = self.sim.now
         self.stats.flushes_serviced += 1
         command.completed.succeed(command)
+        if self.crash_tap is not None:
+            self.crash_tap("flush", 0)
 
     def _dirty_watermark(self) -> Optional[int]:
         dirty = self.cache.dirty_entries
@@ -345,7 +360,17 @@ class StorageDevice:
                 self._flush_group_counter += 1
                 flush_group = self._flush_group_counter
             yield self.flash.program(len(batch), overhead_factor=overhead)
-            self.cache.mark_durable(batch, self.sim.now, flush_group=flush_group)
+            if self.crash_tap is not None and self.barrier_mode is BarrierMode.NONE:
+                # Legacy device under crash exploration: the planes of a
+                # program round land independently at power cut, so expose a
+                # boundary after every page of the (already shuffled) batch.
+                # All pages still become durable at the same simulated time —
+                # an untapped run is bit-identical.
+                for entry in batch:
+                    self.cache.mark_durable((entry,), self.sim.now)
+                    self.crash_tap("program", 1)
+            else:
+                self.cache.mark_durable(batch, self.sim.now, flush_group=flush_group)
             if self.ftl is not None and pages is not None:
                 self.ftl.mark_programmed(pages, self.sim.now)
                 if self.ftl.needs_gc():
@@ -353,6 +378,8 @@ class StorageDevice:
             for entry in batch:
                 self._in_flight.discard(entry.transfer_seq)
             self._durability_advanced.notify_all()
+            if self.crash_tap is not None and self.barrier_mode is not BarrierMode.NONE:
+                self.crash_tap("program", len(batch))
 
     def _select_flush_batch(self) -> list[CacheEntry]:
         """Choose the next set of cache entries to program, per barrier mode."""

@@ -17,7 +17,7 @@ from repro.core.verification import epoch_prefix_holds
 from repro.fs import BarrierFS, Ext4Filesystem, OptFS
 from repro.storage import BarrierMode
 from repro.storage.command import WrittenBlock
-from repro.storage.crash import recover_durable_blocks
+from repro.storage.crash import CrashState, recover_durable_blocks
 
 
 class TestStackBuilder:
@@ -132,9 +132,16 @@ class TestOrderTrackerAndVerification:
         if len(state.durable) < 2:
             pytest.skip("not enough durable pages to forge a violation")
         # Forge: drop the first durable page but keep a later-epoch page.
-        forged = state
-        first = forged.durable[0]
-        forged.durable.remove(first)
+        # Build a fresh CrashState rather than mutating the recovered one —
+        # its derived views (durable_blocks/durable_seqs/lost) are computed
+        # once and cached, so a CrashState is a snapshot.
+        first = state.durable[0]
+        forged = CrashState(
+            crash_time=state.crash_time,
+            barrier_mode=state.barrier_mode,
+            transferred=list(state.transferred),
+            durable=[entry for entry in state.durable if entry is not first],
+        )
         if not any(entry.epoch > first.epoch for entry in forged.durable):
             pytest.skip("no later-epoch survivor to conflict with")
         with pytest.raises(VerificationError):

@@ -1,0 +1,169 @@
+"""The oracle registry and the individual invariant checkers."""
+
+import pytest
+
+from repro.core.verification import (
+    ORACLES,
+    CrashProbe,
+    VerificationError,
+    applicable_oracles,
+    verify_epoch_prefix,
+    verify_storage_order_prefix,
+)
+from repro.crashlab import replay_to_point, record_boundaries
+from repro.scenarios import ScenarioSpec
+from repro.storage.barrier_modes import BarrierMode
+from repro.storage.crash import CrashState
+from repro.storage.writeback_cache import CacheEntry
+
+
+def entry(block, version, epoch, seq, durable):
+    return CacheEntry(
+        block=block,
+        version=version,
+        epoch=epoch,
+        transfer_seq=seq,
+        transfer_time=float(seq),
+        command_id=seq,
+        durable_time=float(seq) if durable else None,
+    )
+
+
+def state_of(entries, mode=BarrierMode.IN_ORDER_RECOVERY):
+    return CrashState(
+        crash_time=100.0,
+        barrier_mode=mode,
+        transferred=sorted(entries, key=lambda e: e.transfer_seq),
+        durable=[e for e in entries if e.is_durable],
+    )
+
+
+class TestStorageOrderPrefix:
+    def test_prefix_passes(self):
+        entries = [
+            entry(("data", 1, 0), 1, 0, 1, True),
+            entry(("data", 1, 1), 1, 0, 2, True),
+            entry(("data", 1, 2), 1, 1, 3, False),
+        ]
+        verify_storage_order_prefix(state_of(entries))
+
+    def test_hole_is_a_violation_with_witness(self):
+        entries = [
+            entry(("data", 1, 0), 1, 0, 1, False),
+            entry(("data", 1, 1), 1, 0, 2, True),
+        ]
+        with pytest.raises(VerificationError, match="storage-order prefix violated"):
+            verify_storage_order_prefix(state_of(entries))
+
+    def test_durable_overwrite_supersedes_the_lost_page(self):
+        # v1 of the block was lost, but v2 — transferred later — survived:
+        # the block's content is newer than the lost page, no violation.
+        entries = [
+            entry(("data", 1, 0), 1, 0, 1, False),
+            entry(("data", 1, 0), 2, 0, 2, True),
+            entry(("data", 1, 1), 1, 0, 3, True),
+        ]
+        verify_storage_order_prefix(state_of(entries))
+
+    def test_empty_durable_set_is_vacuously_fine(self):
+        entries = [entry(("data", 1, 0), 1, 0, 1, False)]
+        verify_storage_order_prefix(state_of(entries))
+
+
+class TestEpochPrefix:
+    def test_linear_scan_finds_the_violation(self):
+        entries = [
+            entry(("data", 1, 0), 1, 0, 1, False),
+            entry(("data", 1, 1), 1, 1, 2, True),
+        ]
+        with pytest.raises(VerificationError, match="epoch-prefix violated"):
+            verify_epoch_prefix(state_of(entries))
+
+    def test_large_state_is_fast(self):
+        # The O(n^2) form of this check took seconds at this size; the set
+        # lookup makes it effectively linear.  A loose wall-clock bound
+        # keeps the regression observable without being flaky.
+        import time
+
+        entries = [
+            entry(("data", 1, i), 1, 0, i + 1, i % 2 == 0) for i in range(20_000)
+        ] + [entry(("data", 1, 99_999), 1, 1, 20_001, True)]
+        state = state_of(entries)
+        start = time.perf_counter()
+        with pytest.raises(VerificationError):
+            verify_epoch_prefix(state)
+        assert time.perf_counter() - start < 0.5
+
+
+class TestCrashStateCaching:
+    def test_derived_views_are_computed_once(self):
+        entries = [
+            entry(("data", 1, 0), 1, 0, 1, True),
+            entry(("data", 1, 1), 1, 0, 2, False),
+        ]
+        state = state_of(entries)
+        assert state.durable_blocks is state.durable_blocks
+        assert state.lost is state.lost
+        assert state.durable_seqs is state.durable_seqs
+        assert state.durable_blocks == {("data", 1, 0): 1}
+        assert [e.transfer_seq for e in state.lost] == [2]
+
+
+class TestRegistry:
+    def test_core_and_workload_oracles_are_registered(self):
+        assert {
+            "epoch-prefix",
+            "storage-order-prefix",
+            "dispatch-epoch-order",
+            "journal-recovery",
+            "committed-log-prefix",
+        } <= set(ORACLES)
+
+    def test_duplicate_registration_is_rejected(self):
+        from repro.core.verification import register_oracle
+
+        with pytest.raises(ValueError, match="duplicate oracle"):
+            register_oracle("epoch-prefix")(lambda probe: None)
+
+    def test_applicability_on_a_bare_probe(self):
+        probe = CrashProbe(state=state_of([]))
+        names = {oracle.name for oracle in applicable_oracles(probe)}
+        # Without a stack, journal, dispatch log or spec only the two
+        # device-level oracles apply.
+        assert names == {"epoch-prefix", "storage-order-prefix"}
+
+
+class TestWorkloadOracle:
+    def test_committed_log_prefix_fires_on_legacy_sqlite_wal(self):
+        spec = ScenarioSpec(
+            workload="sqlite",
+            config="EXT4-DR",
+            barrier_mode="none",
+            params={"inserts": 10, "journal_mode": "wal"},
+        )
+        boundaries = record_boundaries(spec)
+        programs = [b.index for b in boundaries if b.kind == "program"]
+        witnessed = False
+        for index in programs:
+            probe, _boundary = replay_to_point(spec, index)
+            oracle = ORACLES["committed-log-prefix"]
+            assert oracle.applies(probe)
+            try:
+                oracle.check(probe)
+            except VerificationError as error:
+                assert "committed-log prefix violated" in str(error)
+                assert "main.db-wal" in str(error)
+                witnessed = True
+                break
+        assert witnessed, "legacy WAL drain order must eventually leave a hole"
+
+    def test_committed_log_prefix_holds_on_barrier_device(self):
+        spec = ScenarioSpec(
+            workload="sqlite",
+            config="BFS-OD",
+            barrier_mode="in-order-recovery",
+            params={"inserts": 6, "journal_mode": "wal"},
+        )
+        for boundary in record_boundaries(spec):
+            probe, _ = replay_to_point(spec, boundary.index)
+            ORACLES["committed-log-prefix"].check(probe)

@@ -1,0 +1,100 @@
+"""The ROADMAP-named server workloads: postgres-wal and rocksdb-compaction."""
+
+from repro.scenarios import WORKLOADS, ScenarioSpec, run_spec, sweep, run_specs
+
+
+class TestPostgresWAL:
+    def test_registered_and_runs(self):
+        assert "postgres-wal" in WORKLOADS
+        outcome = run_spec(
+            ScenarioSpec(workload="postgres-wal", params={"commits": 8})
+        )
+        result = outcome.result
+        assert result.operations == 8
+        assert result.elapsed_usec > 0
+        assert result.ops_per_second > 0
+        assert len(result.latencies) == 8
+
+    def test_checkpoints_add_wal_and_heap_traffic(self):
+        quiet = run_spec(
+            ScenarioSpec(
+                workload="postgres-wal",
+                params={"commits": 8, "checkpoint_every": 100},
+            )
+        ).result
+        checkpointing = run_spec(
+            ScenarioSpec(
+                workload="postgres-wal",
+                params={"commits": 8, "checkpoint_every": 2},
+            )
+        ).result
+        assert checkpointing.elapsed_usec > quiet.elapsed_usec
+
+    def test_relax_durability_speeds_up_barrierfs(self):
+        durable = run_spec(
+            ScenarioSpec(
+                workload="postgres-wal", config="BFS-DR", params={"commits": 10}
+            )
+        ).result
+        relaxed = run_spec(
+            ScenarioSpec(
+                workload="postgres-wal",
+                config="BFS-OD",
+                params={"commits": 10, "relax_durability": True},
+            )
+        ).result
+        assert relaxed.ops_per_second > durable.ops_per_second
+
+
+class TestRocksDBCompaction:
+    def test_registered_and_runs(self):
+        assert "rocksdb-compaction" in WORKLOADS
+        outcome = run_spec(
+            ScenarioSpec(
+                workload="rocksdb-compaction",
+                params={"flushes": 6, "compaction_every": 3},
+            )
+        )
+        result = outcome.result
+        assert result.operations == 6
+        assert result.extra["compactions"] == 2
+        assert result.elapsed_usec > 0
+
+    def test_compactions_cost_time(self):
+        never = run_spec(
+            ScenarioSpec(
+                workload="rocksdb-compaction",
+                params={"flushes": 6, "compaction_every": 100},
+            )
+        ).result
+        always = run_spec(
+            ScenarioSpec(
+                workload="rocksdb-compaction",
+                params={"flushes": 6, "compaction_every": 2},
+            )
+        ).result
+        assert never.extra["compactions"] == 0
+        assert always.extra["compactions"] == 3
+        assert always.elapsed_usec > never.elapsed_usec
+
+
+class TestSweepCoverage:
+    def test_both_workloads_sweep_across_the_standard_matrix(self):
+        specs = sweep(
+            workloads=["postgres-wal", "rocksdb-compaction"],
+            configs=["EXT4-DR", "BFS-DR"],
+            scale=0.1,
+        )
+        outcomes = run_specs(specs)
+        assert len(outcomes) == 4
+        for outcome in outcomes:
+            assert outcome.result.operations > 0
+
+    def test_runs_are_deterministic(self):
+        spec = ScenarioSpec(
+            workload="rocksdb-compaction", config="BFS-OD", params={"flushes": 5}
+        )
+        first = run_spec(spec).result
+        second = run_spec(spec).result
+        assert first.elapsed_usec == second.elapsed_usec
+        assert first.operations == second.operations

@@ -27,6 +27,13 @@ SMALL_SPECS = {
     "varmail": ScenarioSpec(
         workload="varmail", params={"iterations": 3, "num_threads": 1}
     ),
+    "postgres-wal": ScenarioSpec(
+        workload="postgres-wal", params={"commits": 6, "checkpoint_every": 3}
+    ),
+    "rocksdb-compaction": ScenarioSpec(
+        workload="rocksdb-compaction",
+        params={"flushes": 4, "compaction_every": 2},
+    ),
     "blocklevel": ScenarioSpec(
         workload="blocklevel", config=None,
         params={"scenario": "X", "num_writes": 10},
