@@ -12,6 +12,11 @@ a first-class artifact.  This module measures four rates:
   ``standard_config("BFS-DR")`` stack: the end-to-end figure-regeneration
   rate.
 * ``table1_wallclock_sec`` — wall-clock seconds to regenerate Table 1.
+* ``fault_hook_overhead_pct`` — slowdown of the fsync path with a
+  never-firing :class:`repro.faults.FaultInjector` installed, relative to
+  no injector at all.  The injection hooks are ``is None`` attribute tests
+  on the device hot path; this metric pins their cost (the guard is that
+  the fault subsystem stays effectively free when unused).
 
 ``python -m repro.analysis.perfbench`` appends one record to
 ``BENCH_engine.json`` so the perf trajectory is recorded PR over PR; see
@@ -86,6 +91,40 @@ def fsync_rate(calls: int = 400, config: str = "BFS-DR") -> float:
     return calls / (time.perf_counter() - start)
 
 
+def fault_hook_overhead_pct(
+    calls: int = 400, config: str = "BFS-DR", samples: int = 5
+) -> float:
+    """Percent fsync-rate cost of an installed but never-firing injector.
+
+    A plan whose trigger cannot fire (``torn-write:p=0``) exercises every
+    hook — eligible-site accounting, the error-aware completion wiring —
+    without perturbing the simulation, so the two runs do identical work
+    apart from the hooks themselves.  The two sides are sampled
+    interleaved on CPU time and compared best-of-``samples``: a single
+    wall-clock pair is hopelessly noisy on a shared machine, while the
+    best-case rates converge to the true cost (noise only ever slows a
+    sample down).  Values within a few percent of zero mean the hooks are
+    in the noise.
+    """
+    from repro.faults import FaultInjector
+
+    def rate(with_injector: bool) -> float:
+        stack = build_stack(standard_config(config))
+        if with_injector:
+            FaultInjector(["torn-write:p=0"], seed=0).install(stack.device)
+        start = time.process_time()
+        measure_sync_latency(stack, calls=calls, sync_call="fsync", allocating=True)
+        return calls / (time.process_time() - start)
+
+    rate(True)  # warm-up (imports, caches) so ordering doesn't bias the ratio
+    clean, hooked = [], []
+    for _ in range(samples):
+        clean.append(rate(False))
+        hooked.append(rate(True))
+    best_clean, best_hooked = max(clean), max(hooked)
+    return 100.0 * (best_clean - best_hooked) / best_clean
+
+
 def table1_wallclock(scale: float = 1.0) -> float:
     """Wall-clock seconds to regenerate Table 1 at ``scale``."""
     from repro.experiments import table1_fsync_latency
@@ -116,6 +155,9 @@ def collect_metrics(*, repeats: int = 3, quick: bool = False) -> dict[str, float
             _best(lambda: table1_wallclock(scale), repeats, minimize=True), 4
         ),
         "table1_scale": scale,
+        "fault_hook_overhead_pct": round(
+            _best(lambda: fault_hook_overhead_pct(calls), repeats, minimize=True), 2
+        ),
     }
 
 

@@ -26,6 +26,7 @@ from repro.simulation.engine import Event, Simulator
 from repro.simulation.resources import Condition
 from repro.storage.command import WrittenBlock
 from repro.storage.device import StorageDevice
+from repro.storage.errors import PowerLossError
 
 
 @dataclass
@@ -50,6 +51,19 @@ class BlockDeviceConfig:
     #: Keep per-request issue/dispatch logs (needed by the verification and
     #: ordering experiments; long throughput runs may turn it off).
     keep_logs: bool = True
+    #: Bounded retry budget for commands the device completes with an error
+    #: status (``repro.faults`` io-error injection); once exhausted the
+    #: request fails with ``request.error`` set instead of retrying forever.
+    max_retries: int = 3
+    #: Linear backoff between error retries (µs): retry *n* waits
+    #: ``n * retry_backoff`` before re-driving the command.
+    retry_backoff: float = 50.0
+    #: Bounded backpressure for a busy device: after this many queue-full
+    #: requeues of one request the block layer gives up and fails it with
+    #: ``device-busy`` rather than waiting indefinitely.  Healthy runs need
+    #: one or two requeues at most; the bound only matters when the device
+    #: stops draining.
+    busy_requeue_limit: int = 256
 
     @property
     def dispatch_policy(self) -> DispatchPolicy:
@@ -69,6 +83,16 @@ class BlockDeviceStats:
     flush_requests: int = 0
     busy_waits: int = 0
     pages_submitted: int = 0
+    #: Error completions the device reported (one per errored command).
+    io_errors: int = 0
+    #: Commands re-driven after an error completion.
+    io_retries: int = 0
+    #: Requests failed after exhausting the retry budget.
+    io_failures: int = 0
+    #: Queue-full requeues of the head request (bounded backpressure path).
+    busy_requeues: int = 0
+    #: Requests failed because the device lost power mid-dispatch.
+    power_failures: int = 0
 
 
 class BlockDevice:
@@ -197,12 +221,10 @@ class BlockDevice:
             if config.submit_overhead > 0:
                 yield self.sim.timeout(config.submit_overhead)
             command = request_to_command(request, config.dispatch_policy)
-            while not self.device.try_submit(command):
-                self.stats.busy_waits += 1
-                if config.busy_retry_interval is not None:
-                    yield self.sim.timeout(config.busy_retry_interval)
-                else:
-                    yield self.device.slot_available()
+            submitted = yield from self._submit_with_backpressure(command)
+            if not submitted:
+                self._fail_request(request, command.error or "device-busy")
+                continue
             request.dispatch_seq = next(self._dispatch_seq)
             request.dispatch_time = self.sim.now
             self.stats.requests_dispatched += 1
@@ -216,11 +238,85 @@ class BlockDevice:
                     merged.dispatched.succeed(merged)
             self._wire_completion(request, command)
 
+    def _submit_with_backpressure(self, command):
+        """Submit ``command``, absorbing busy and power-loss conditions.
+
+        Returns ``True`` once the device accepted the command.  A full queue
+        is retried (slot event or ``busy_retry_interval``) up to
+        ``busy_requeue_limit`` requeues; exhausting the bound, or the device
+        being powered off, returns ``False`` with ``command.error`` set so
+        the caller can fail the request instead of propagating
+        :class:`DeviceBusyError`/:class:`PowerLossError` into workload code.
+        """
+        config = self.config
+        requeues = 0
+        while True:
+            try:
+                if self.device.try_submit(command):
+                    return True
+            except PowerLossError:
+                self.stats.power_failures += 1
+                command.error = "power-loss"
+                return False
+            self.stats.busy_waits += 1
+            requeues += 1
+            self.stats.busy_requeues += 1
+            if requeues >= config.busy_requeue_limit:
+                command.error = "device-busy"
+                return False
+            if config.busy_retry_interval is not None:
+                yield self.sim.timeout(config.busy_retry_interval)
+            else:
+                yield self.device.slot_available()
+
+    def _fail_request(self, request: BlockRequest, error: str) -> None:
+        request.fail(error)
+
     def _wire_completion(self, request: BlockRequest, command) -> None:
         # Bound methods instead of per-request closures: the dispatcher used
-        # to build two closure cells for every dispatched command.
-        command.transferred.add_callback(request.relay_transferred)
-        command.completed.add_callback(request.relay_completed)
+        # to build two closure cells for every dispatched command.  The
+        # closure-based error-aware wiring only runs under fault injection,
+        # keeping the hot path allocation-free.
+        if self.device.fault_injector is None:
+            command.transferred.add_callback(request.relay_transferred)
+            command.completed.add_callback(request.relay_completed)
+            return
+
+        def on_transferred(event: Event) -> None:
+            if command.error is None:
+                request.relay_transferred(event)
+
+        def on_completed(event: Event) -> None:
+            if command.error is None:
+                request.relay_completed(event)
+            else:
+                self._on_command_error(request, command)
+
+        command.transferred.add_callback(on_transferred)
+        command.completed.add_callback(on_completed)
+
+    def _on_command_error(self, request: BlockRequest, command) -> None:
+        """Bounded deterministic retry of a command the device failed."""
+        self.stats.io_errors += 1
+        if request.retries >= self.config.max_retries:
+            self.stats.io_failures += 1
+            self._fail_request(request, command.error)
+            return
+        request.retries += 1
+        self.stats.io_retries += 1
+        self.sim.process(self._retry_request(request), name="blkdev.retry", daemon=True)
+
+    def _retry_request(self, request: BlockRequest):
+        # Linear deterministic backoff, then re-drive the rebuilt command
+        # directly (the request keeps its original dispatch bookkeeping — a
+        # retry is not a second dispatch).
+        yield self.sim.timeout(self.config.retry_backoff * request.retries)
+        command = request_to_command(request, self.config.dispatch_policy)
+        submitted = yield from self._submit_with_backpressure(command)
+        if not submitted:
+            self._fail_request(request, command.error or "device-busy")
+            return
+        self._wire_completion(request, command)
 
     # ------------------------------------------------------------------ queries
     @property

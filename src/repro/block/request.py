@@ -78,6 +78,14 @@ class BlockRequest:
     dispatch_seq: Optional[int] = None
     dispatch_time: Optional[float] = None
 
+    #: Error code when the request ultimately failed (``None`` on success).
+    #: Set by the block layer after the bounded retry path is exhausted —
+    #: see ``repro.storage.errors`` for the code vocabulary.
+    error: Optional[str] = None
+    #: How many times the dispatcher re-drove this request after the device
+    #: reported an error.
+    retries: int = 0
+
     # Milestone events (created by the block device).
     queued: Optional[Event] = None
     dispatched: Optional[Event] = None
@@ -166,6 +174,23 @@ class BlockRequest:
         for merged in self.merged_requests:
             if merged.completed is not None and not merged.completed.triggered:
                 merged.completed.succeed(merged)
+
+    def fail(self, error: str) -> None:
+        """Complete the request with an error status.
+
+        Every still-pending milestone event fires (with :attr:`error` set) so
+        that waiters — Wait-on-Transfer loops, fsync paths — observe a
+        completion instead of deadlocking; callers that care inspect
+        ``request.error`` afterwards.  Merged requests fail with the same
+        code.
+        """
+        self.error = error
+        for event in (self.dispatched, self.transferred, self.completed):
+            if event is not None and not event.triggered:
+                event.succeed(self)
+        for merged in self.merged_requests:
+            if merged.error is None:
+                merged.fail(error)
 
     # -- merging ---------------------------------------------------------------
     @property

@@ -34,6 +34,7 @@ from typing import Callable, Iterable, Optional, Sequence
 
 from repro.block.request import BlockRequest
 from repro.fs.journal.transaction import JournalTransaction
+from repro.storage.barrier_modes import BarrierMode
 from repro.storage.crash import CrashState
 
 
@@ -247,6 +248,9 @@ class CrashProbe:
     transactions: Sequence[JournalTransaction] = ()
     #: Block-layer dispatch log at crash time.
     dispatch_log: Sequence[BlockRequest] = ()
+    #: Fault injections that fired before the crash
+    #: (:class:`repro.faults.FaultEvent` records; empty when no injector ran).
+    fault_events: Sequence[object] = ()
 
     @classmethod
     def from_stack(
@@ -258,6 +262,7 @@ class CrashProbe:
         workload: object = None,
     ) -> "CrashProbe":
         """Assemble a probe from a crashed stack."""
+        injector = getattr(getattr(stack, "device", None), "fault_injector", None)
         return cls(
             state=state,
             stack=stack,
@@ -265,6 +270,7 @@ class CrashProbe:
             workload=workload,
             transactions=journal_transactions(getattr(stack, "fs", None)),
             dispatch_log=list(getattr(getattr(stack, "block", None), "dispatch_log", ())),
+            fault_events=tuple(injector.events) if injector is not None else (),
         )
 
 
@@ -291,6 +297,68 @@ class Oracle:
 ORACLES: dict[str, Oracle] = {}
 
 
+#: Oracles that judge host-side state only — no injected storage fault can
+#: break them, so their guarantee never degrades.
+_FAULT_IMMUNE_ORACLES = frozenset({"dispatch-epoch-order"})
+
+#: Oracles whose property is internal to the device's transfer/durable
+#: bookkeeping (an errored command transfers nothing, so retries cannot
+#: perturb them).
+_DEVICE_PREFIX_ORACLES = frozenset({"epoch-prefix", "storage-order-prefix"})
+
+#: Fault kinds that corrupt media pages at program time.
+_MEDIA_FAULT_KINDS = frozenset(
+    {"torn-write", "misdirected-write", "dropped-write", "latent-read-error"}
+)
+
+
+def faults_permit(oracle_name: str, probe: CrashProbe) -> bool:
+    """Whether the faults that fired still allow ``oracle_name``'s guarantee.
+
+    Composed into every registered oracle's ``guaranteed`` predicate: the
+    cell promises the property only if its base predicate holds *and* none
+    of the injected faults voids it.  The degradation rules (see
+    ``docs/FAULTS.md`` for the full table):
+
+    * **media faults** (torn/misdirected/dropped/latent) punch holes in the
+      durable set; only the in-order-recovery firmware converts a hole into
+      a clean log truncation, so every other mode forfeits the guarantee.
+      (PLP never programs, so these faults cannot fire there at all.)
+    * **flush lies** void any guarantee that leans on a flush: the
+      transfer-and-flush (EXT4-style) stack lets a FLUSH|FUA commit record
+      overtake unflushed data, so only an order-preserving block layer —
+      whose drain policy orders persistence without flushes — or PLP keeps
+      its promises.  This also voids the ``use_flush_fua`` rescue of the
+      journal-recovery oracle.
+    * **io-errors** are invisible to device-internal prefix properties (a
+      failed command transfers nothing) but the bounded retry path may
+      reorder application-level appends, so journal- and workload-level
+      oracles conservatively forfeit their guarantee.
+
+    Only faults that actually *fired* before the crash point degrade the
+    guarantee — a plan that never triggered leaves the cell's promise (and
+    therefore ``unexpected`` accounting) intact.
+    """
+    events = probe.fault_events
+    if not events:
+        return True
+    if oracle_name in _FAULT_IMMUNE_ORACLES:
+        return True
+    kinds = {getattr(event, "kind", None) for event in events}
+    mode = probe.state.barrier_mode
+    if kinds & _MEDIA_FAULT_KINDS and mode is not BarrierMode.IN_ORDER_RECOVERY:
+        return False
+    if "flush-lie" in kinds:
+        order_preserving = bool(
+            getattr(getattr(probe.stack, "block", None), "order_preserving", False)
+        )
+        if not order_preserving and mode is not BarrierMode.PLP:
+            return False
+    if "io-error" in kinds and oracle_name not in _DEVICE_PREFIX_ORACLES:
+        return False
+    return True
+
+
 def register_oracle(
     name: str,
     *,
@@ -308,13 +376,20 @@ def register_oracle(
         if name in ORACLES:
             raise ValueError(f"duplicate oracle name {name!r}")
         doc = (check.__doc__ or "").strip().splitlines()
+        base_guaranteed = guaranteed or (
+            lambda probe: probe.state.barrier_mode.orders_persistence
+        )
+
+        def guarded(probe: CrashProbe, _base=base_guaranteed, _name=name) -> bool:
+            # Injected faults can void a promise the cell otherwise makes.
+            return _base(probe) and faults_permit(_name, probe)
+
         ORACLES[name] = Oracle(
             name=name,
             description=description or (doc[0] if doc else name),
             check=check,
             applies=applies or (lambda probe: True),
-            guaranteed=guaranteed
-            or (lambda probe: probe.state.barrier_mode.orders_persistence),
+            guaranteed=guarded,
         )
         return check
 

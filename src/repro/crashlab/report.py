@@ -114,6 +114,7 @@ SUMMARY_COLUMNS = (
     "barrier_mode",
     "scheduler",
     "seed",
+    "faults",
     "strategy",
     "boundaries",
     "points_checked",
@@ -129,6 +130,7 @@ VIOLATION_COLUMNS = (
     "config",
     "workload",
     "barrier_mode",
+    "faults",
     "point",
     "boundary_kind",
     "time_ms",
@@ -140,6 +142,10 @@ VIOLATION_COLUMNS = (
 
 def _mode_label(spec) -> str:
     return spec.barrier_mode or "default"
+
+
+def _fault_label(spec) -> str:
+    return getattr(spec, "fault_label", "-") or "-"
 
 
 def summary_result(reports: Sequence[CellReport]) -> ExperimentResult:
@@ -162,6 +168,7 @@ def summary_result(reports: Sequence[CellReport]) -> ExperimentResult:
             _mode_label(spec),
             spec.scheduler or "-",
             spec.seed,
+            _fault_label(spec),
             report.strategy,
             report.boundaries_total,
             report.points_checked,
@@ -188,6 +195,7 @@ def violations_result(reports: Sequence[CellReport]) -> ExperimentResult:
                 spec.config or "raw-block",
                 spec.workload,
                 _mode_label(spec),
+                _fault_label(spec),
                 point.index,
                 point.kind,
                 point.time / MSEC,

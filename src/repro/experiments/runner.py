@@ -1,17 +1,22 @@
 """Run the paper's experiments — or any ad-hoc scenario matrix.
 
-Three command-line modes (see ``docs/EXPERIMENTS.md`` and
-``docs/CRASH_CONSISTENCY.md`` for full guides):
+Four command-line modes (see ``docs/EXPERIMENTS.md``,
+``docs/CRASH_CONSISTENCY.md`` and ``docs/FAULTS.md`` for full guides):
 
 * ``python -m repro.experiments.runner [scale] [--only NAME] [--jobs N]``
   regenerates the eleven published tables;
 * ``python -m repro.experiments.runner sweep --workload W --config C
   --device D ...`` expands the given axes into a scenario matrix that may
-  exist in no experiment module and tabulates it;
+  exist in no experiment module and tabulates it (``--fault PLAN`` injects
+  storage faults into every cell);
 * ``python -m repro.experiments.runner crashcheck --workload W
   --barrier-mode M --strategy exhaustive`` systematically crashes every
   cell of the given matrix at recorded IO boundaries and verifies recovery
-  (:mod:`repro.crashlab`).
+  (:mod:`repro.crashlab`);
+* ``python -m repro.experiments.runner faultcheck --workload W
+  --config in-order-recovery --fault flush-lie`` composes the crash
+  exploration with deterministic fault injection (:mod:`repro.faults`) and
+  verifies recovery with the fault-aware oracles.
 
 All accept ``--format table|json|csv`` and ``--output PATH`` so results can
 be diffed and archived as CI artifacts.
@@ -186,6 +191,16 @@ def _route_params(parser, workloads: list[str], raw_params: list[str]):
     return params, accepted_by
 
 
+def _parse_faults(parser, raw_faults):
+    """Parse repeatable ``--fault`` plan strings into a FaultSpec tuple."""
+    from repro.faults import parse_fault
+
+    try:
+        return tuple(parse_fault(item) for item in raw_faults)
+    except ValueError as error:
+        parser.error(str(error))
+
+
 def _finalize_specs(specs, params, accepted_by):
     """Attach routed params to each spec and collapse duplicate specs.
 
@@ -251,6 +266,14 @@ def sweep_main(argv: list[str] | None = None) -> None:
         help="workload parameter, literal-evaluated (repeatable)",
     )
     parser.add_argument(
+        "--fault", action="append", default=[], metavar="PLAN",
+        help=(
+            "fault plan applied to the storage device, as KIND[:key=value,...] "
+            "(repeatable; e.g. torn-write:p=0.5, flush-lie, io-error:nth=3); "
+            "see docs/FAULTS.md"
+        ),
+    )
+    parser.add_argument(
         "--scale", type=float, default=1.0,
         help="iteration-count multiplier (default 1.0)",
     )
@@ -274,6 +297,14 @@ def sweep_main(argv: list[str] | None = None) -> None:
         parser.error("at least one --workload is required (or use --list)")
 
     params, accepted_by = _route_params(parser, args.workload, args.param)
+    faults = _parse_faults(parser, args.fault)
+    if faults:
+        for name in set(args.workload):
+            if not WORKLOADS.get(name).needs_stack:
+                parser.error(
+                    f"workload {name!r} runs against the raw block device; "
+                    "--fault needs a filesystem stack to install the injector on"
+                )
 
     specs = sweep(
         workloads=args.workload,
@@ -283,6 +314,7 @@ def sweep_main(argv: list[str] | None = None) -> None:
         barrier_modes=args.barrier_mode or [None],
         seeds=args.seed or [0],
         scale=args.scale,
+        faults=faults,
     )
 
     # Stack axes mean nothing to raw-block workloads: normalise them away so
@@ -449,6 +481,210 @@ def crashcheck_main(argv: list[str] | None = None) -> None:
     _emit([summary_result(reports), violations_result(reports)], args.format, args.output)
 
 
+def faultcheck_main(argv: list[str] | None = None) -> None:
+    """``runner faultcheck``: crash exploration composed with fault injection."""
+    import argparse
+
+    from repro.core.verification import ORACLES
+    from repro.crashlab import STRATEGIES, explore_cells, summary_result, violations_result
+    from repro.faults import FAULT_KINDS
+    from repro.scenarios import STACK_CONFIGS, WORKLOADS, sweep
+    from repro.storage.barrier_modes import BarrierMode
+
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner faultcheck",
+        description=(
+            "Inject storage faults (torn/misdirected/dropped writes, flush "
+            "lies, IO errors) into a scenario matrix, crash-explore every "
+            "cell at recorded IO boundaries and verify recovery with the "
+            "fault-aware oracles.  Flags mirror ``runner crashcheck``.  A "
+            "--config value naming a barrier mode (e.g. in-order-recovery) "
+            "expands to that mode on the barrier stack (BFS-DR) plus the "
+            "legacy contrast cell (EXT4-DR with barrier mode none)."
+        ),
+    )
+    parser.add_argument(
+        "-w", "--workload", action="append", metavar="NAME",
+        help=f"workload axis (repeatable); filesystem workloads of {WORKLOADS.names()}",
+    )
+    parser.add_argument(
+        "-c", "--config", action="append", metavar="NAME",
+        help=(
+            "stack-configuration axis (repeatable, default EXT4-DR); one of "
+            f"{STACK_CONFIGS.names()} or a barrier-mode name "
+            f"{[mode.value for mode in BarrierMode]} (expanded as above)"
+        ),
+    )
+    parser.add_argument(
+        "-d", "--device", action="append", metavar="NAME",
+        help="device axis (repeatable, default plain-ssd)",
+    )
+    parser.add_argument(
+        "--scheduler", action="append", metavar="NAME",
+        help="block-scheduler axis (repeatable); default: the config's choice",
+    )
+    parser.add_argument(
+        "--barrier-mode", action="append", metavar="MODE",
+        help=(
+            "storage barrier-mode axis (repeatable; underscores and hyphens "
+            f"both accepted); one of {[mode.value for mode in BarrierMode]}; "
+            "default: the device's choice"
+        ),
+    )
+    parser.add_argument(
+        "--fault", action="append", default=[], metavar="PLAN",
+        help=(
+            "fault plan applied to the storage device, as KIND[:key=value,...] "
+            "(repeatable, at least one required; e.g. torn-write:p=0.5, "
+            "flush-lie, io-error:nth=3); see docs/FAULTS.md"
+        ),
+    )
+    parser.add_argument(
+        "--strategy", choices=STRATEGIES, default="exhaustive",
+        help=(
+            "crash-point selection: every recorded boundary (exhaustive), a "
+            "seeded per-kind sample (stratified), or a binary search to the "
+            "earliest failing boundary (bisect); default exhaustive"
+        ),
+    )
+    parser.add_argument(
+        "--points", type=int, metavar="N",
+        help=(
+            "crash-point budget per cell: evenly thins an exhaustive "
+            "enumeration, sets the stratified sample size (default 32); for "
+            "bisect it caps the probe density of each scout wave"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help=(
+            "seed for the scenario, the fault streams and the stratified "
+            "sampler (default 0)"
+        ),
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.25,
+        help=(
+            "iteration-count multiplier; fault exploration replays the "
+            "workload once per point, so the default is a reduced 0.25"
+        ),
+    )
+    parser.add_argument(
+        "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="workload parameter, literal-evaluated (repeatable)",
+    )
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help=(
+            "worker processes; crash points are sharded individually "
+            "(default 1; bisect probes are adaptive and always run serially)"
+        ),
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list the fault kinds, oracles and strategies, then exit",
+    )
+    _add_output_arguments(parser)
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print(f"strategies:  {', '.join(STRATEGIES)}")
+        print(f"fault kinds: {', '.join(FAULT_KINDS)}")
+        print("oracles:")
+        for oracle in ORACLES.values():
+            print(f"  {oracle.name:22s} {oracle.description}")
+        return
+    if not args.workload:
+        parser.error("at least one --workload is required (or use --list)")
+    if not args.fault:
+        parser.error(
+            "at least one --fault plan is required (KIND[:key=value,...]; "
+            "use crashcheck for fault-free exploration)"
+        )
+    if args.points is not None and args.points < 1:
+        parser.error("--points must be at least 1")
+    faults = _parse_faults(parser, args.fault)
+
+    modes: list[str | None] = [None]
+    if args.barrier_mode:
+        modes = []
+        for mode in args.barrier_mode:
+            normalized = mode.replace("_", "-")
+            try:
+                modes.append(BarrierMode(normalized).value)
+            except ValueError:
+                parser.error(
+                    f"unknown barrier mode {mode!r}; choose from "
+                    f"{[m.value for m in BarrierMode]}"
+                )
+
+    for name in set(args.workload):
+        try:
+            workload_class = WORKLOADS.get(name)
+        except KeyError as error:
+            parser.error(str(error.args[0]))
+        if not workload_class.needs_stack:
+            parser.error(
+                f"workload {name!r} runs against the raw block device; "
+                "faultcheck needs a filesystem stack to inject into and recover"
+            )
+    params, accepted_by = _route_params(parser, args.workload, args.param)
+
+    # A --config naming a barrier mode is sugar for the cell pair that makes
+    # the contrast legible: the mode on the order-preserving barrier stack,
+    # plus the legacy EXT4 stack with barriers off.  (BFS-DR cannot run with
+    # mode none — the order-preserving block layer needs a barrier-capable
+    # device — which is why the legacy half rides on EXT4-DR.)
+    known_configs = set(STACK_CONFIGS.names())
+    mode_values = {mode.value for mode in BarrierMode}
+    cells: list[tuple[str, list[str | None]]] = []
+    for name in args.config or ["EXT4-DR"]:
+        normalized = name.replace("_", "-")
+        if name not in known_configs and normalized in mode_values:
+            if args.barrier_mode:
+                parser.error(
+                    f"--config {name!r} names a barrier mode and already "
+                    "implies the barrier-mode axis; drop --barrier-mode"
+                )
+            aliased = BarrierMode(normalized)
+            if aliased is not BarrierMode.NONE:
+                cells.append(("BFS-DR", [aliased.value]))
+            cells.append(("EXT4-DR", [BarrierMode.NONE.value]))
+        else:
+            cells.append((name, modes))
+
+    expanded = []
+    for config, config_modes in cells:
+        expanded.extend(
+            sweep(
+                workloads=args.workload,
+                configs=[config],
+                devices=args.device or ["plain-ssd"],
+                schedulers=args.scheduler or [None],
+                barrier_modes=config_modes,
+                seeds=[args.seed],
+                scale=args.scale,
+                faults=faults,
+            )
+        )
+    specs = _finalize_specs(expanded, params, accepted_by)
+    reports = explore_cells(
+        specs,
+        strategy=args.strategy,
+        points=args.points,
+        seed=args.seed,
+        jobs=args.jobs,
+    )
+    summary = summary_result(reports)
+    summary.name = "faultcheck"
+    summary.description = (
+        "crash-point exploration under injected storage faults"
+    )
+    violations = violations_result(reports)
+    violations.name = "faultcheck-violations"
+    _emit([summary, violations], args.format, args.output)
+
+
 def main(argv: list[str] | None = None) -> None:
     """Command-line entry point: ``python -m repro.experiments.runner``."""
     import argparse
@@ -461,13 +697,17 @@ def main(argv: list[str] | None = None) -> None:
     if arguments and arguments[0] == "crashcheck":
         crashcheck_main(arguments[1:])
         return
+    if arguments and arguments[0] == "faultcheck":
+        faultcheck_main(arguments[1:])
+        return
 
     parser = argparse.ArgumentParser(
         prog="repro.experiments.runner",
         description=(
             "Regenerate the paper's tables and figures (or run `... runner "
             "sweep --help` for ad-hoc matrices, `... runner crashcheck "
-            "--help` for crash-recovery checking)."
+            "--help` for crash-recovery checking, `... runner faultcheck "
+            "--help` for crash checking under injected storage faults)."
         ),
     )
     parser.add_argument(

@@ -71,6 +71,12 @@ def prepare_spec(spec: ScenarioSpec) -> Workload:
     workload = workload_class(**dict(spec.params))
     if workload_class.needs_stack:
         stack = build_spec_stack(spec)
+        if spec.faults:
+            # Rebuilt per run from (plan, seed), so every replay of a spec —
+            # serial or sharded — injects bit-identical fault sites.
+            from repro.faults import FaultInjector
+
+            FaultInjector(spec.faults, seed=spec.seed).install(stack.device)
     else:
         _reject_stack_axes(spec)
         DEVICES.get(spec.device)  # validate the device axis up front
@@ -95,6 +101,10 @@ def _reject_stack_axes(spec: ScenarioSpec) -> None:
     ]
     if spec.stack_overrides:
         ignored.append("stack_overrides")
+    if spec.faults:
+        # Raw-block workloads build their own devices internally; there is
+        # no stack device to install an injector on.
+        ignored.append("faults")
     if ignored:
         raise ValueError(
             f"workload {spec.workload!r} runs against the raw block device and "
@@ -173,6 +183,7 @@ SWEEP_COLUMNS = (
     "scheduler",
     "barrier_mode",
     "seed",
+    "faults",
     "operations",
     "ops_per_sec",
     "mean_ms",
@@ -208,6 +219,7 @@ def _sweep_row(outcome: ScenarioOutcome) -> tuple:
         spec.scheduler or "-",
         spec.barrier_mode or "-",
         spec.seed,
+        spec.fault_label,
         result.operations,
         result.ops_per_second,
         summary.mean / MSEC if summary else "-",

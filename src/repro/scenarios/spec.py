@@ -20,6 +20,7 @@ from dataclasses import dataclass, field, replace
 from types import MappingProxyType
 from typing import Mapping, Optional, Sequence
 
+from repro.faults.spec import FaultSpec, coerce_faults, plan_label
 from repro.storage.barrier_modes import BarrierMode
 
 
@@ -53,6 +54,11 @@ class ScenarioSpec:
     params: Mapping[str, object] = field(default_factory=dict)
     #: Extra ``StackConfig`` field overrides (e.g. track_queue_depth=True).
     stack_overrides: Mapping[str, object] = field(default_factory=dict)
+    #: Fault plan applied to the storage device (:mod:`repro.faults`).
+    #: Accepts specs, plan-syntax strings or keyword dicts; normalised to a
+    #: tuple of :class:`~repro.faults.spec.FaultSpec`.  The injector streams
+    #: are seeded from :attr:`seed`, so a spec fully determines its faults.
+    faults: Sequence[FaultSpec] = ()
 
     def __post_init__(self) -> None:
         # Freeze the mappings so a spec really is an immutable value
@@ -60,6 +66,7 @@ class ScenarioSpec:
         # via __getstate__ so worker processes still accept specs).
         object.__setattr__(self, "params", _frozen_params(self.params))
         object.__setattr__(self, "stack_overrides", _frozen_params(self.stack_overrides))
+        object.__setattr__(self, "faults", coerce_faults(self.faults))
         if self.barrier_mode is not None:
             mode = self.barrier_mode
             value = mode.value if isinstance(mode, BarrierMode) else mode
@@ -87,13 +94,18 @@ class ScenarioSpec:
         # equal axes, and specs differing only in params merely collide.
         return hash((
             self.workload, self.config, self.device, self.scheduler,
-            self.barrier_mode, self.seed, self.scale, self.label,
+            self.barrier_mode, self.seed, self.scale, self.label, self.faults,
         ))
 
     @property
     def display_label(self) -> str:
         """The row label: explicit label, else the config name, else device."""
         return self.label or self.config or self.device
+
+    @property
+    def fault_label(self) -> str:
+        """Canonical rendering of the fault plan (``-`` when none)."""
+        return plan_label(self.faults)
 
     def with_(self, **changes) -> "ScenarioSpec":
         """Copy of the spec with selected fields replaced."""
@@ -108,6 +120,8 @@ class ScenarioSpec:
             axes.append(f"barrier={self.barrier_mode}")
         if self.seed:
             axes.append(f"seed={self.seed}")
+        if self.faults:
+            axes.append(f"faults={self.fault_label}")
         return " × ".join(axes)
 
 
@@ -122,6 +136,7 @@ def sweep(
     scale: float = 1.0,
     params: Optional[Mapping[str, object]] = None,
     stack_overrides: Optional[Mapping[str, object]] = None,
+    faults: Sequence = (),
 ) -> list[ScenarioSpec]:
     """Expand axis lists into the product of :class:`ScenarioSpec` values.
 
@@ -149,6 +164,7 @@ def sweep(
                 scale=scale,
                 params=params or {},
                 stack_overrides=stack_overrides or {},
+                faults=faults,
             )
         )
     return specs

@@ -22,6 +22,8 @@ This package models the *device half* of the barrier-enabled IO stack:
   above into the simulated device that the block layer talks to.
 * :mod:`repro.storage.crash` — crash injection and recovery: computes which
   logical blocks survive a sudden power loss under each barrier mode.
+* :mod:`repro.storage.errors` — the typed error model (power loss, device
+  busy, IO-error command results) raised or reported by the layers above.
 """
 
 from repro.storage.barrier_modes import BarrierMode
@@ -35,6 +37,15 @@ from repro.storage.command import (
 from repro.storage.command_queue import CommandQueue
 from repro.storage.crash import CrashState, recover_durable_blocks
 from repro.storage.device import StorageDevice
+from repro.storage.errors import (
+    CommandError,
+    DeviceBusyError,
+    LatentReadError,
+    PowerLossError,
+    ReadIOError,
+    StorageError,
+    WriteIOError,
+)
 from repro.storage.flash import FlashBackend
 from repro.storage.ftl import LogStructuredFTL, Segment
 from repro.storage.profiles import (
@@ -51,16 +62,23 @@ __all__ = [
     "Command",
     "CommandFlag",
     "CommandKind",
+    "CommandError",
     "CommandPriority",
     "CommandQueue",
     "CrashState",
+    "DeviceBusyError",
     "DEVICE_PROFILES",
     "DeviceProfile",
     "FIG1_DEVICES",
     "FlashBackend",
+    "LatentReadError",
     "LogStructuredFTL",
+    "PowerLossError",
+    "ReadIOError",
     "Segment",
     "StorageDevice",
+    "StorageError",
+    "WriteIOError",
     "WritebackCache",
     "WrittenBlock",
     "get_profile",

@@ -113,6 +113,10 @@ class Command:
     # Persist-epoch the device assigned to this command's payload.
     epoch: Optional[int] = None
 
+    #: Error code (``repro.storage.errors.CommandError.code``) when the device
+    #: completed the command with an error status; ``None`` on success.
+    error: Optional[str] = None
+
     def __post_init__(self) -> None:
         if self.num_pages < 1 and self.kind is not CommandKind.FLUSH:
             raise ValueError("commands must cover at least one page")

@@ -136,14 +136,23 @@ def recover_durable_blocks(device: StorageDevice, *, crash_time: Optional[float]
     time = crash_time if crash_time is not None else device.sim.now
     transferred = device.written_history()
 
+    # Pages damaged by an injected media fault (:mod:`repro.faults`) were
+    # never correctly programmed even though the device marked them durable;
+    # recovery cannot read them back.
     if mode is BarrierMode.PLP:
-        durable = list(transferred)
+        durable = [entry for entry in transferred if entry.damage is None]
     elif mode is BarrierMode.IN_ORDER_RECOVERY:
         durable = _recover_from_log(device, transferred)
     elif mode is BarrierMode.TRANSACTIONAL:
-        durable = [entry for entry in transferred if entry.is_durable]
+        durable = [
+            entry for entry in transferred
+            if entry.is_durable and entry.damage is None
+        ]
     else:  # NONE and IN_ORDER_WRITEBACK: whatever was programmed survives.
-        durable = [entry for entry in transferred if entry.is_durable]
+        durable = [
+            entry for entry in transferred
+            if entry.is_durable and entry.damage is None
+        ]
 
     durable_sorted = sorted(durable, key=lambda entry: entry.transfer_seq)
     return CrashState(
@@ -155,9 +164,18 @@ def recover_durable_blocks(device: StorageDevice, *, crash_time: Optional[float]
 
 
 def _recover_from_log(device: StorageDevice, transferred: list[CacheEntry]) -> list[CacheEntry]:
-    """LFS-style recovery: keep the programmed prefix of the FTL log."""
+    """LFS-style recovery: keep the programmed prefix of the FTL log.
+
+    A damaged page is a hole exactly like an unprogrammed one — the scan
+    cannot read past it, so recovery keeps only the log prefix up to the
+    first damaged entry.  This is what turns every media fault into a clean
+    log truncation under in-order recovery.
+    """
     if device.ftl is None:
-        return [entry for entry in transferred if entry.is_durable]
+        return [
+            entry for entry in transferred
+            if entry.is_durable and entry.damage is None
+        ]
     recovered = device.ftl.recover()
     # Entries may have been appended to the log more than once (GC); dedupe
     # while keeping transfer order.
@@ -166,6 +184,8 @@ def _recover_from_log(device: StorageDevice, transferred: list[CacheEntry]) -> l
     for entry in recovered:
         if entry.transfer_seq in seen:
             continue
+        if entry.damage is not None:
+            break
         seen.add(entry.transfer_seq)
         unique.append(entry)
     return unique

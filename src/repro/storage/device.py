@@ -37,14 +37,13 @@ from repro.simulation.stats import TimeSeries, TimeWeightedStat
 from repro.storage.barrier_modes import BarrierMode, default_barrier_mode
 from repro.storage.command import Command, CommandKind
 from repro.storage.command_queue import CommandQueue
+from repro.storage.errors import DeviceBusyError, PowerLossError
 from repro.storage.flash import FlashBackend
 from repro.storage.ftl import LogStructuredFTL
 from repro.storage.profiles import DeviceProfile
 from repro.storage.writeback_cache import CacheEntry, WritebackCache
 
-
-class DeviceBusyError(RuntimeError):
-    """Raised by :meth:`StorageDevice.submit` when the command queue is full."""
+__all__ = ["DeviceBusyError", "DeviceStats", "StorageDevice"]
 
 
 @dataclass
@@ -59,6 +58,7 @@ class DeviceStats:
     fua_writes: int = 0
     busy_rejections: int = 0
     commands_submitted: int = 0
+    io_errors: int = 0
     queue_depth: TimeWeightedStat = field(default_factory=TimeWeightedStat)
 
 
@@ -109,6 +109,12 @@ class StorageDevice:
         #: the simulation or any RNG — a tap that only observes leaves the
         #: run bit-identical to an untapped one.
         self.crash_tap: Optional[Callable[[str, int], None]] = None
+        #: Fault-injection hook (:class:`repro.faults.FaultInjector`).  Like
+        #: ``crash_tap`` this is duck-typed so the storage layer does not
+        #: import :mod:`repro.faults`; when ``None`` (the default) every
+        #: injection site reduces to a single attribute test and the run is
+        #: bit-identical to a build without fault support.
+        self.fault_injector = None
 
         self._queue_activity = Condition(sim, name="device.queue")
         self._slot_freed = Condition(sim, name="device.slot")
@@ -133,7 +139,7 @@ class StorageDevice:
     def try_submit(self, command: Command) -> bool:
         """Submit a command if the queue has space; returns ``True`` on success."""
         if not self._powered_on:
-            raise RuntimeError("device is powered off (crashed)")
+            raise PowerLossError()
         command.attach(self.sim)
         if not self.queue.try_insert(command):
             self.stats.busy_rejections += 1
@@ -205,7 +211,30 @@ class StorageDevice:
 
             yield from self._service_write(command)
 
+    def _fail_command(self, command: Command, error: str):
+        """Complete ``command`` with an error status instead of servicing it.
+
+        The command transfers nothing and admits nothing to the cache — the
+        device state is exactly as if the command had never been picked, which
+        is what lets the block layer retry it without perturbing transfer
+        order bookkeeping.  Both milestone events still fire (with
+        ``command.error`` set) so waiters never deadlock.
+        """
+        self.stats.io_errors += 1
+        yield self.sim.timeout(self.profile.completion_overhead)
+        command.error = error
+        command.transfer_time = self.sim.now
+        command.transferred.succeed(command)
+        command.complete_time = self.sim.now
+        command.completed.succeed(command)
+
     def _service_read(self, command: Command):
+        injector = self.fault_injector
+        if injector is not None:
+            error = injector.command_error(command)
+            if error is not None:
+                yield from self._fail_command(command, error)
+                return
         yield self.flash.read(command.num_pages)
         yield self.sim.timeout(command.num_pages * self.profile.transfer_time_per_page)
         command.transfer_time = self.sim.now
@@ -217,8 +246,17 @@ class StorageDevice:
 
     def _service_write(self, command: Command):
         profile = self.profile
+        injector = self.fault_injector
+        if injector is not None:
+            error = injector.command_error(command)
+            if error is not None:
+                yield from self._fail_command(command, error)
+                return
         if command.wants_preflush:
-            yield from self._drain_dirty_upto(self._dirty_watermark())
+            # A lying device acknowledges the pre-flush without draining the
+            # cache; the FUA payload itself is still programmed for real.
+            if injector is None or not injector.lie_on_flush():
+                yield from self._drain_dirty_upto(self._dirty_watermark())
             yield self.sim.timeout(profile.flush_overhead)
 
         yield self.sim.timeout(command.num_pages * profile.transfer_time_per_page)
@@ -262,6 +300,8 @@ class StorageDevice:
         else:
             pages = None
         yield self.flash.program(len(pending), overhead_factor=overhead)
+        if self.fault_injector is not None:
+            self.fault_injector.damage_batch(self, pending)
         self.cache.mark_durable(pending, self.sim.now)
         if self.ftl is not None and pages is not None:
             self.ftl.mark_programmed(pages, self.sim.now)
@@ -272,8 +312,9 @@ class StorageDevice:
             self.crash_tap("program", len(pending))
 
     def _service_flush(self, command: Command):
-        watermark = self._dirty_watermark()
-        yield from self._drain_dirty_upto(watermark)
+        injector = self.fault_injector
+        if injector is None or not injector.lie_on_flush():
+            yield from self._drain_dirty_upto(self._dirty_watermark())
         yield self.sim.timeout(self.profile.flush_overhead)
         command.transfer_time = self.sim.now
         command.transferred.succeed(command)
@@ -360,6 +401,8 @@ class StorageDevice:
                 self._flush_group_counter += 1
                 flush_group = self._flush_group_counter
             yield self.flash.program(len(batch), overhead_factor=overhead)
+            if self.fault_injector is not None:
+                self.fault_injector.damage_batch(self, batch)
             if self.crash_tap is not None and self.barrier_mode is BarrierMode.NONE:
                 # Legacy device under crash exploration: the planes of a
                 # program round land independently at power cut, so expose a

@@ -37,6 +37,12 @@ class CacheEntry:
     #: Flush group identifier for transactional write-back (all entries of a
     #: group become durable atomically).
     flush_group: Optional[int] = None
+    #: Media-fault tag set by :mod:`repro.faults` at program time
+    #: (``"torn"`` / ``"dropped"`` / ``"misdirected"`` / ``"clobbered"`` /
+    #: ``"latent"``).  The device itself believes the program succeeded —
+    #: ``durable_time`` is still set — but crash recovery treats a damaged
+    #: page as unreadable.
+    damage: Optional[str] = None
 
     @property
     def is_durable(self) -> bool:

@@ -1,0 +1,119 @@
+"""Fault plan syntax, validation and value semantics (``repro.faults.spec``)."""
+
+import pickle
+import random
+
+import pytest
+
+from repro.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    coerce_faults,
+    parse_fault,
+    plan_label,
+)
+
+
+class TestPlanSyntax:
+    def test_bare_kind_fires_everywhere(self):
+        spec = parse_fault("torn-write")
+        assert spec.kind == "torn-write"
+        assert spec.probability is None
+        assert spec.effective_probability == 1.0
+
+    def test_all_options_parse(self):
+        spec = parse_fault("flush-lie:p=0.5,max=2,seed=7")
+        assert spec == FaultSpec("flush-lie", probability=0.5, max_fires=2, seed=7)
+
+    def test_nth_and_op(self):
+        spec = parse_fault("io-error:nth=2,op=write")
+        assert spec.nth == 2 and spec.op == "write"
+        assert spec.effective_probability is None
+
+    @pytest.mark.parametrize(
+        "alias, kind",
+        [
+            ("torn", "torn-write"),
+            ("drop", "dropped-write"),
+            ("dropped", "dropped-write"),
+            ("misdirected", "misdirected-write"),
+            ("latent", "latent-read-error"),
+            ("lying-flush", "flush-lie"),
+            ("torn_write", "torn-write"),  # underscores normalise
+            ("TORN-WRITE", "torn-write"),  # case-insensitive
+        ],
+    )
+    def test_aliases(self, alias, kind):
+        assert parse_fault(alias).kind == kind
+
+    def test_label_round_trips(self):
+        for text in ("torn-write", "flush-lie:p=0.5,max=2,seed=7", "io-error:nth=3,op=read"):
+            spec = parse_fault(text)
+            assert parse_fault(spec.label) == spec
+
+    @pytest.mark.parametrize(
+        "text, message",
+        [
+            ("gamma-ray", "unknown fault kind"),
+            ("torn-write:p=2", "must be in [0, 1]"),
+            ("torn-write:p=0.5,nth=3", "not both"),
+            ("torn-write:nth=0", "1-based"),
+            ("torn-write:max=0", "max_fires"),
+            ("torn-write:op=write", "only meaningful for io-error"),
+            ("io-error:op=erase", "'write' or 'read'"),
+            ("torn-write:wibble=1", "unknown fault option"),
+            ("torn-write:p", "key=value"),
+        ],
+    )
+    def test_malformed_plans_raise(self, text, message):
+        with pytest.raises(ValueError, match=None) as excinfo:
+            parse_fault(text)
+        assert message in str(excinfo.value).replace("\n", " ")
+
+
+class TestValueSemantics:
+    def test_coerce_accepts_spec_string_dict_and_none(self):
+        specs = coerce_faults(
+            [FaultSpec("flush-lie"), "torn-write:p=0.5", {"kind": "io-error", "nth": 1}]
+        )
+        assert [spec.kind for spec in specs] == ["flush-lie", "torn-write", "io-error"]
+        assert coerce_faults(None) == ()
+        assert coerce_faults("torn-write") == (FaultSpec("torn-write"),)
+
+    def test_specs_are_hashable_and_picklable(self):
+        plan = FaultPlan(specs=("torn-write:p=0.25", "flush-lie"), seed=3)
+        assert hash(plan.specs[0]) == hash(FaultSpec("torn-write", probability=0.25))
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone == plan and clone.label == plan.label
+
+    def test_plan_label(self):
+        assert plan_label(()) == "-"
+        assert plan_label(coerce_faults(["torn-write:p=0.25", "flush-lie"])) == (
+            "torn-write:p=0.25+flush-lie"
+        )
+
+    def test_every_kind_is_constructible(self):
+        for kind in FAULT_KINDS:
+            assert FaultSpec(kind).label == kind
+
+
+class TestStreams:
+    def test_stream_is_deterministic_and_hash_seed_independent(self):
+        spec = FaultSpec("torn-write", probability=0.5)
+        first = [spec.stream(7, 0).random() for _ in range(3)]
+        second = [spec.stream(7, 0).random() for _ in range(3)]
+        assert first == second
+        # String seeding pins the derivation regardless of PYTHONHASHSEED.
+        assert spec.stream(7, 0).random() == random.Random("7/0/torn-write").random()
+
+    def test_streams_differ_by_index_seed_and_kind(self):
+        spec = FaultSpec("torn-write", probability=0.5)
+        base = spec.stream(7, 0).random()
+        assert spec.stream(7, 1).random() != base
+        assert spec.stream(8, 0).random() != base
+        assert FaultSpec("dropped-write").stream(7, 0).random() != base
+
+    def test_explicit_seed_overrides_plan_seed(self):
+        spec = FaultSpec("flush-lie", seed=42)
+        assert spec.stream(0, 0).random() == spec.stream(999, 0).random()
