@@ -94,35 +94,84 @@ def fsync_rate(calls: int = 400, config: str = "BFS-DR") -> float:
 def fault_hook_overhead_pct(
     calls: int = 400, config: str = "BFS-DR", samples: int = 5
 ) -> float:
-    """Percent fsync-rate cost of an installed but never-firing injector.
+    """Percent full-loop events/sec cost of an inert installed injector.
 
     A plan whose trigger cannot fire (``torn-write:p=0``) exercises every
-    hook — eligible-site accounting, the error-aware completion wiring —
-    without perturbing the simulation, so the two runs do identical work
-    apart from the hooks themselves.  The two sides are sampled
-    interleaved on CPU time and compared best-of-``samples``: a single
-    wall-clock pair is hopelessly noisy on a shared machine, while the
-    best-case rates converge to the true cost (noise only ever slows a
-    sample down).  Values within a few percent of zero mean the hooks are
-    in the noise.
+    hook — the checked device service path, the error-aware completion
+    wiring — without perturbing the simulation, so the two runs process
+    identical event sequences apart from the hooks themselves.  The metric
+    divides the number of engine events the run scheduled by its CPU time:
+    an *end-to-end* events/sec ratio of the whole service loop, not a
+    timing of the inner hook (which is what let the PR 6 regression slip
+    past this metric's earlier fsync-calls/sec form).  The two sides are
+    sampled interleaved and compared best-of-``samples``: a single pair is
+    hopelessly noisy on a shared machine, while the best-case rates
+    converge to the true cost (noise only ever slows a sample down).
+    Values within a few percent of zero mean the hooks are in the noise.
     """
     from repro.faults import FaultInjector
 
-    def rate(with_injector: bool) -> float:
+    def events_rate(with_injector: bool) -> float:
         stack = build_stack(standard_config(config))
         if with_injector:
             FaultInjector(["torn-write:p=0"], seed=0).install(stack.device)
         start = time.process_time()
         measure_sync_latency(stack, calls=calls, sync_call="fsync", allocating=True)
-        return calls / (time.process_time() - start)
+        elapsed = time.process_time() - start
+        # The sequence counter counts every heap entry the run scheduled —
+        # the loop's true unit of work, identical on both sides.
+        events = next(stack.sim._sequence)
+        return events / elapsed
 
-    rate(True)  # warm-up (imports, caches) so ordering doesn't bias the ratio
+    events_rate(True)  # warm-up (imports, caches) so ordering doesn't bias
     clean, hooked = [], []
     for _ in range(samples):
-        clean.append(rate(False))
-        hooked.append(rate(True))
+        clean.append(events_rate(False))
+        hooked.append(events_rate(True))
     best_clean, best_hooked = max(clean), max(hooked)
     return 100.0 * (best_clean - best_hooked) / best_clean
+
+
+def sweep_warm_start_metrics(
+    *, repeats: int = 3, quick: bool = False
+) -> dict[str, float]:
+    """Wall-clock of a warmup-heavy sweep, from scratch vs. warm-started.
+
+    The sweep is four sync-loop cells sharing one warmup prefix and varying
+    only the measured call count — the shape ``--warm-start`` exists for.
+    ``sweep_warm_speedup`` is scratch-wall over warm-wall (best of
+    ``repeats`` each); prefix snapshots should hold it well above 1.5x on
+    any fork-capable platform.  Results of the two paths are bit-identical
+    (pinned by ``tests/scenarios/test_warm_start.py``); this only records
+    the wall-clock lever.
+    """
+    from repro.scenarios.engine import run_specs
+    from repro.scenarios.spec import ScenarioSpec
+
+    warmup = 120 if quick else 400
+    specs = [
+        ScenarioSpec(
+            workload="sync-loop",
+            config="BFS-DR",
+            device="ufs",
+            params={"warmup_calls": warmup, "calls": calls},
+            label=f"calls={calls}",
+        )
+        for calls in (10, 20, 30, 40)
+    ]
+
+    def wall(warm_start: bool) -> float:
+        start = time.perf_counter()
+        run_specs(specs, warm_start=warm_start)
+        return time.perf_counter() - start
+
+    scratch = min(wall(False) for _ in range(repeats))
+    warm = min(wall(True) for _ in range(repeats))
+    return {
+        "sweep_scratch_wall_sec": round(scratch, 4),
+        "sweep_matrix_wall_sec": round(warm, 4),
+        "sweep_warm_speedup": round(scratch / warm, 2) if warm > 0 else 0.0,
+    }
 
 
 def table1_wallclock(scale: float = 1.0) -> float:
@@ -145,7 +194,7 @@ def collect_metrics(*, repeats: int = 3, quick: bool = False) -> dict[str, float
     wakeups = 25_000 if quick else 100_000
     calls = 100 if quick else 400
     scale = 0.25 if quick else 1.0
-    return {
+    metrics = {
         "events_per_sec": round(_best(lambda: engine_events_rate(events), repeats), 1),
         "wakeups_per_sec": round(
             _best(lambda: process_wakeup_rate(wakeups), repeats), 1
@@ -155,10 +204,16 @@ def collect_metrics(*, repeats: int = 3, quick: bool = False) -> dict[str, float
             _best(lambda: table1_wallclock(scale), repeats, minimize=True), 4
         ),
         "table1_scale": scale,
+        # One call with more interleaved samples, not best-of-repeats: each
+        # side's best-of converges to its true rate from below, so the
+        # overhead converges from above — repeating and taking the minimum
+        # would instead select the most negative noise excursion.
         "fault_hook_overhead_pct": round(
-            _best(lambda: fault_hook_overhead_pct(calls), repeats, minimize=True), 2
+            fault_hook_overhead_pct(calls, samples=max(5, 3 * repeats)), 2
         ),
     }
+    metrics.update(sweep_warm_start_metrics(repeats=repeats, quick=quick))
+    return metrics
 
 
 def _git_revision() -> str:
@@ -244,15 +299,42 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument(
         "--no-write", action="store_true", help="print metrics without recording"
     )
+    parser.add_argument(
+        "--assert-floor", action="append", default=[], metavar="METRIC=VALUE",
+        help=(
+            "fail (exit 1) if the named metric comes out below VALUE "
+            "(repeatable; e.g. --assert-floor events_per_sec=300000) — the "
+            "CI perf-smoke regression gate"
+        ),
+    )
     args = parser.parse_args(argv)
+    floors: list[tuple[str, float]] = []
+    for item in args.assert_floor:
+        name, separator, raw = item.partition("=")
+        if not separator or not name:
+            parser.error(f"--assert-floor expects METRIC=VALUE, got {item!r}")
+        try:
+            floors.append((name, float(raw)))
+        except ValueError:
+            parser.error(f"--assert-floor value must be a number, got {item!r}")
     if args.no_write:
         metrics = collect_metrics(repeats=args.repeats, quick=args.quick)
         print(json.dumps(metrics, indent=1))
-        return
-    entry = record(
-        args.output, label=args.label, repeats=args.repeats, quick=args.quick
-    )
-    print(json.dumps(entry, indent=1))
+    else:
+        entry = record(
+            args.output, label=args.label, repeats=args.repeats, quick=args.quick
+        )
+        print(json.dumps(entry, indent=1))
+        metrics = entry["metrics"]
+    failures = []
+    for name, floor in floors:
+        value = metrics.get(name)
+        if value is None:
+            failures.append(f"{name}: no such metric")
+        elif value < floor:
+            failures.append(f"{name}: {value} < floor {floor}")
+    if failures:
+        raise SystemExit("perfbench floor check FAILED: " + "; ".join(failures))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -33,6 +33,21 @@ class IOScheduler(abc.ABC):
     def next_request(self) -> Optional[BlockRequest]:
         """Remove and return the next request to dispatch, or ``None``."""
 
+    def next_batch(self) -> list[BlockRequest]:
+        """Remove and return every request dispatchable in one grant.
+
+        The contract is strict: the batch must equal what repeated
+        :meth:`next_request` calls would have returned *had no request
+        arrived in between*, and any request left queued must still observe
+        arrivals exactly as it would under single pulls (e.g. a FIFO
+        scheduler must keep its tail in the queue so later contiguous
+        writes can still back-merge into it).  The default is the trivially
+        correct single pull; disciplines override it when they can prove a
+        larger grant equivalent.
+        """
+        request = self.next_request()
+        return [] if request is None else [request]
+
     @abc.abstractmethod
     def __len__(self) -> int:
         """Number of requests currently queued."""

@@ -81,6 +81,27 @@ class EpochIOScheduler(IOScheduler):
             self._drain_staged()
         return request
 
+    def next_batch(self) -> list[BlockRequest]:
+        """Batched dispatch; falls back to single pulls while blocked.
+
+        While an epoch is draining, barrier reassignment and the staged-queue
+        unblock must happen at exactly the single-pull cadence, so the
+        blocked path pulls one request at a time.  When the queue is open no
+        admission can happen mid-grant (``_blocked`` only changes in
+        ``add_request``) and a barrier arriving *between* grants keeps its
+        own id in ``_ordered_ids`` until it is pulled, so handing out the
+        underlying discipline's whole grant — forgetting each request's
+        ordered id on the way — is pull-for-pull identical.
+        """
+        if self._blocked:
+            request = self.next_request()
+            return [] if request is None else [request]
+        batch = self.underlying.next_batch()
+        forget = self._forget_ordered
+        for request in batch:
+            forget(request)
+        return batch
+
     def _forget_ordered(self, request: BlockRequest) -> None:
         self._ordered_ids.discard(request.request_id)
         for merged in request.merged_requests:

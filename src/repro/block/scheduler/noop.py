@@ -39,5 +39,24 @@ class NoopScheduler(IOScheduler):
             return None
         return self._queue.popleft()
 
+    def next_batch(self) -> list[BlockRequest]:
+        """Pop every queued request except the merge tail.
+
+        New arrivals only ever merge into the newest queued request, so the
+        tail must stay in the queue until a younger request sits behind it —
+        popping it early would turn a would-be merge into a separate
+        request.  With a single queued request the single pull takes it
+        (exactly what ``next_request`` would have done); with more, the
+        grant is everything up to but excluding the tail.
+        """
+        queue = self._queue
+        count = len(queue)
+        if count == 0:
+            return []
+        popleft = queue.popleft
+        if count == 1:
+            return [popleft()]
+        return [popleft() for _ in range(count - 1)]
+
     def __len__(self) -> int:
         return len(self._queue)

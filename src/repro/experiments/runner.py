@@ -191,6 +191,41 @@ def _route_params(parser, workloads: list[str], raw_params: list[str]):
     return params, accepted_by
 
 
+def _expand_suffix_axes(specs):
+    """Expand list-valued measured-phase params into one spec per value.
+
+    ``--param calls=[100,200,400]`` on a workload that declares ``calls``
+    as a suffix param becomes a three-point axis instead of a literal list.
+    The points differ only in their measured phase, which is exactly the
+    shape ``--warm-start`` shares a single warmup prefix across.
+    """
+    import itertools
+
+    from repro.scenarios import WORKLOADS
+
+    expanded = []
+    for spec in specs:
+        suffix = WORKLOADS.get(spec.workload).SUFFIX_PARAMS
+        axes = [
+            (key, spec.params[key])
+            for key in suffix
+            if isinstance(spec.params.get(key), (list, tuple))
+        ]
+        if not axes:
+            expanded.append(spec)
+            continue
+        keys = [key for key, _ in axes]
+        for values in itertools.product(*(value for _, value in axes)):
+            overrides = dict(zip(keys, values))
+            label = " ".join(
+                [spec.display_label] + [f"{k}={v}" for k, v in overrides.items()]
+            )
+            expanded.append(
+                spec.with_(params={**dict(spec.params), **overrides}, label=label)
+            )
+    return expanded
+
+
 def _parse_faults(parser, raw_faults):
     """Parse repeatable ``--fault`` plan strings into a FaultSpec tuple."""
     from repro.faults import parse_fault
@@ -282,6 +317,15 @@ def sweep_main(argv: list[str] | None = None) -> None:
         help="worker processes; specs are sharded individually (default 1)",
     )
     parser.add_argument(
+        "--warm-start", action="store_true",
+        help=(
+            "share warmup prefixes: specs differing only in measured-phase "
+            "parameters replay their warmup once and fork each point from "
+            "the warmed snapshot (bit-identical results, less wall-clock); "
+            "see docs/EXPERIMENTS.md"
+        ),
+    )
+    parser.add_argument(
         "--list", action="store_true",
         help="list the registered configs, devices and workloads, then exit",
     )
@@ -326,9 +370,11 @@ def sweep_main(argv: list[str] | None = None) -> None:
         for spec in specs
     ]
     specs = _finalize_specs(specs, params, accepted_by)
+    specs = _expand_suffix_axes(specs)
     result = sweep_table(
         specs,
         jobs=args.jobs,
+        warm_start=args.warm_start,
         description=f"ad-hoc scenario sweep ({len(specs)} scenarios)",
     )
     _emit([result], args.format, args.output)

@@ -114,17 +114,23 @@ def _reject_stack_axes(spec: ScenarioSpec) -> None:
 
 
 def run_spec(spec: ScenarioSpec) -> ScenarioOutcome:
-    """Execute one scenario and return its outcome."""
-    return ScenarioOutcome(spec=spec, result=prepare_spec(spec).run())
+    """Execute one scenario (warmup prefix, then measured phase)."""
+    workload = prepare_spec(spec)
+    workload.warm()
+    return ScenarioOutcome(spec=spec, result=workload.run())
 
 
 def run_specs(
-    specs: Iterable[ScenarioSpec], *, jobs: int = 1
+    specs: Iterable[ScenarioSpec], *, jobs: int = 1, warm_start: bool = False
 ) -> list[ScenarioOutcome]:
     """Execute specs, fanning out over ``jobs`` worker processes if > 1.
 
     Outcomes come back in spec order either way, and — every spec being an
-    independent, seeded simulation — with identical contents.
+    independent, seeded simulation — with identical contents.  With
+    ``warm_start=True`` specs that share a warm prefix (same axes, same
+    non-suffix parameters) replay it once and fork each parameter point
+    from the warmed process image (:mod:`repro.snapshot`); the outcomes are
+    bit-identical to the from-scratch path, only the wall-clock changes.
     """
     spec_list = list(specs)
     for spec in spec_list:
@@ -133,6 +139,10 @@ def run_specs(
         DEVICES.get(spec.device)
         if workload_class.needs_stack and spec.config is not None:
             stack_config(spec.config, spec.device)
+    if warm_start:
+        from repro.snapshot import run_specs_warm_start
+
+        return run_specs_warm_start(spec_list, jobs=jobs)
     if jobs <= 1 or len(spec_list) <= 1:
         return [run_spec(spec) for spec in spec_list]
 
@@ -154,6 +164,7 @@ def run_matrix(
     rows: Optional[Callable[[Sequence[ScenarioOutcome]], Iterable[Sequence[object]]]] = None,
     notes: str = "",
     jobs: int = 1,
+    warm_start: bool = False,
 ) -> ExperimentResult:
     """Run a spec matrix and assemble the table the experiment reports.
 
@@ -163,7 +174,7 @@ def run_matrix(
     """
     if (row is None) == (rows is None):
         raise ValueError("run_matrix needs exactly one of row= or rows=")
-    outcomes = run_specs(specs, jobs=jobs)
+    outcomes = run_specs(specs, jobs=jobs, warm_start=warm_start)
     result = ExperimentResult(
         name=name, description=description, columns=tuple(columns), notes=notes
     )
@@ -235,6 +246,7 @@ def sweep_table(
     name: str = "sweep",
     description: str = "ad-hoc scenario sweep",
     notes: str = "",
+    warm_start: bool = False,
 ) -> ExperimentResult:
     """Run any spec list and tabulate it with the generic sweep columns."""
     return run_matrix(
@@ -245,4 +257,5 @@ def sweep_table(
         row=_sweep_row,
         notes=notes,
         jobs=jobs,
+        warm_start=warm_start,
     )

@@ -86,6 +86,11 @@ class Workload(abc.ABC):
     name: ClassVar[str] = ""
     needs_stack: ClassVar[bool] = True
     PARAMS: ClassVar[tuple[str, ...]] = ()
+    #: Parameters consumed only by the measured phase (:meth:`run`), never by
+    #: :meth:`warm`.  Specs that differ solely in these can share one warm
+    #: prefix: the snapshot engine (:mod:`repro.snapshot`) runs :meth:`warm`
+    #: once and forks every parameter point from the warmed process image.
+    SUFFIX_PARAMS: ClassVar[tuple[str, ...]] = ()
 
     def __init__(self, **params: object):
         unknown = sorted(set(params) - set(self.PARAMS))
@@ -134,9 +139,23 @@ class Workload(abc.ABC):
         self.device = device or (stack.config.device if stack is not None else None)
         return self
 
+    @property
+    def supports_warm_start(self) -> bool:
+        """Whether the workload declares a forkable warm/measure split."""
+        return bool(self.SUFFIX_PARAMS)
+
+    def warm(self) -> None:
+        """Run the shared warmup prefix (default: nothing).
+
+        Called exactly once, after :meth:`prepare` and before :meth:`run`,
+        on both the from-scratch and the warm-start paths — so a forked
+        continuation and a plain run replay identical event sequences.
+        Implementations must not read any parameter in ``SUFFIX_PARAMS``.
+        """
+
     @abc.abstractmethod
     def run(self) -> WorkloadResult:
-        """Execute the workload and return its uniform result."""
+        """Execute the workload's measured phase and return its result."""
 
 
 @WORKLOADS.register("sync-loop")
@@ -144,7 +163,28 @@ class SyncLoopWorkload(Workload):
     """The raw "write N pages then sync" loop of Table 1 and Figs. 8/11/12."""
 
     name = "sync-loop"
-    PARAMS = ("calls", "sync_call", "allocating", "pages_per_write")
+    PARAMS = ("calls", "sync_call", "allocating", "pages_per_write", "warmup_calls")
+    SUFFIX_PARAMS = ("calls",)
+
+    def warm(self) -> None:
+        """Run ``warmup_calls`` unmeasured write+sync iterations.
+
+        The warmup loop drives a separate file but the same stack, so the
+        journal, writeback cache and device queues reach their steady state
+        before the measured loop starts.
+        """
+        warmup = int(self.param_or("warmup_calls", 0))
+        if warmup <= 0:
+            return
+        stack = self.stack
+        measure_sync_latency(
+            stack,
+            calls=warmup,
+            sync_call=str(self.param_or("sync_call", stack.config.sync_call)),
+            allocating=bool(self.param("allocating", True)),
+            pages_per_write=int(self.param("pages_per_write", 1)),
+            file_name="warmup.dat",
+        )
 
     def run(self) -> WorkloadResult:
         stack = self.stack
@@ -317,19 +357,34 @@ class PostgresWALScenario(Workload):
         "checkpoint_every",
         "checkpoint_pages",
         "cpu_per_commit",
+        "warmup_commits",
     )
+    SUFFIX_PARAMS = ("commits",)
 
-    def run(self) -> WorkloadResult:
+    def _bench(self):
         from repro.apps.postgres import PostgresWALWorkload
 
-        bench = PostgresWALWorkload(
-            self.stack,
-            relax_durability=bool(self.param("relax_durability", False)),
-            wal_pages_per_commit=int(self.param("wal_pages_per_commit", 1)),
-            checkpoint_every=int(self.param("checkpoint_every", 16)),
-            checkpoint_pages=int(self.param("checkpoint_pages", 24)),
-            cpu_per_commit=float(self.param("cpu_per_commit", 90.0)),
-        )
+        bench = getattr(self, "_bound_bench", None)
+        if bench is None:
+            bench = PostgresWALWorkload(
+                self.stack,
+                relax_durability=bool(self.param("relax_durability", False)),
+                wal_pages_per_commit=int(self.param("wal_pages_per_commit", 1)),
+                checkpoint_every=int(self.param("checkpoint_every", 16)),
+                checkpoint_pages=int(self.param("checkpoint_pages", 24)),
+                cpu_per_commit=float(self.param("cpu_per_commit", 90.0)),
+            )
+            self._bound_bench = bench
+        return bench
+
+    def warm(self) -> None:
+        """Run ``warmup_commits`` unmeasured transactions on the same bench."""
+        warmup = int(self.param_or("warmup_commits", 0))
+        if warmup > 0:
+            self._bench().run(warmup)
+
+    def run(self) -> WorkloadResult:
+        bench = self._bench()
         outcome = bench.run(int(self.param_or("commits", self.scaled(120, 40))))
         return WorkloadResult(
             workload=self.name,

@@ -40,6 +40,11 @@ class CommandQueue:
         self._arrival_seq = 0
         self._arrival_of: dict[int, int] = {}
         self._rng = random.Random(seed)
+        # Priority population counters: commands are only ever inserted and
+        # removed (a queued command's priority never changes), so these let
+        # ``select_next`` skip whole scans for absent priority classes.
+        self._num_head = 0
+        self._num_ordered = 0
 
     # -- capacity -----------------------------------------------------------
     def __len__(self) -> int:
@@ -66,6 +71,11 @@ class CommandQueue:
         self._arrival_seq += 1
         self._arrival_of[command.command_id] = self._arrival_seq
         self._entries[command.command_id] = command
+        priority = command.priority
+        if priority is CommandPriority.HEAD_OF_QUEUE:
+            self._num_head += 1
+        elif priority is CommandPriority.ORDERED:
+            self._num_ordered += 1
         return True
 
     def insert(self, command: Command) -> None:
@@ -87,36 +97,42 @@ class CommandQueue:
         module docstring; among equally-eligible ``SIMPLE`` commands the
         controller picks pseudo-randomly, modelling its freedom to optimise.
         """
-        if not self._entries:
+        entries = self._entries
+        if not entries:
             return None
-        commands = list(self._entries.values())
-
-        head = [cmd for cmd in commands if cmd.priority is CommandPriority.HEAD_OF_QUEUE]
-        if head:
-            chosen = min(head, key=self.arrival_order)
-            return self._remove(chosen)
-
-        ordered = [cmd for cmd in commands if cmd.priority is CommandPriority.ORDERED]
-        if ordered:
-            oldest_ordered = min(ordered, key=self.arrival_order)
-            barrier_seq = self.arrival_order(oldest_ordered)
-            eligible = [
-                cmd
-                for cmd in commands
-                if cmd.priority is CommandPriority.SIMPLE
-                and self.arrival_order(cmd) < barrier_seq
-            ]
+        # Insertion order of ``entries`` *is* arrival order (commands are
+        # only appended and deleted), so "oldest" is simply "first seen" and
+        # every rule below is a single forward pass instead of the
+        # list-building min()/filter() cascade this used to be.  The RNG
+        # draws are unchanged: each ``choice`` sees the same candidate list,
+        # in the same order, as the original implementation built.
+        if self._num_head:
+            for command in entries.values():
+                if command.priority is CommandPriority.HEAD_OF_QUEUE:
+                    return self._remove(command)
+        if self._num_ordered:
+            eligible = []
+            for command in entries.values():
+                priority = command.priority
+                if priority is CommandPriority.ORDERED:
+                    oldest_ordered = command
+                    break
+                if priority is CommandPriority.SIMPLE:
+                    eligible.append(command)
             if not eligible:
                 return self._remove(oldest_ordered)
-            chosen = self._rng.choice(eligible)
-            return self._remove(chosen)
-
-        chosen = self._rng.choice(commands)
-        return self._remove(chosen)
+            return self._remove(self._rng.choice(eligible))
+        commands = list(entries.values())
+        return self._remove(self._rng.choice(commands))
 
     def _remove(self, command: Command) -> Command:
         del self._entries[command.command_id]
         self._arrival_of.pop(command.command_id, None)
+        priority = command.priority
+        if priority is CommandPriority.HEAD_OF_QUEUE:
+            self._num_head -= 1
+        elif priority is CommandPriority.ORDERED:
+            self._num_ordered -= 1
         return command
 
     # -- introspection -------------------------------------------------------

@@ -111,10 +111,15 @@ class StorageDevice:
         self.crash_tap: Optional[Callable[[str, int], None]] = None
         #: Fault-injection hook (:class:`repro.faults.FaultInjector`).  Like
         #: ``crash_tap`` this is duck-typed so the storage layer does not
-        #: import :mod:`repro.faults`; when ``None`` (the default) every
-        #: injection site reduces to a single attribute test and the run is
-        #: bit-identical to a build without fault support.
-        self.fault_injector = None
+        #: import :mod:`repro.faults`.  Assigning it swaps the read/write
+        #: service implementations (see the property below): with no injector
+        #: the per-command hot path contains zero injector branches, restoring
+        #: the pre-fault-subsystem wiring; with one installed the checked
+        #: variants run the hook sites.  Cold sites (flush, FUA, program
+        #: rounds) keep a single attribute test instead.
+        self._fault_injector = None
+        self._service_write = self._service_write_fast
+        self._service_read = self._service_read_fast
 
         self._queue_activity = Condition(sim, name="device.queue")
         self._slot_freed = Condition(sim, name="device.slot")
@@ -130,6 +135,21 @@ class StorageDevice:
         sim.process(self._flusher_loop(), name=f"{profile.name}.flusher", daemon=True)
 
     # ------------------------------------------------------------------ host API
+    @property
+    def fault_injector(self):
+        """The installed :class:`repro.faults.FaultInjector`, or ``None``."""
+        return self._fault_injector
+
+    @fault_injector.setter
+    def fault_injector(self, injector) -> None:
+        self._fault_injector = injector
+        if injector is None:
+            self._service_write = self._service_write_fast
+            self._service_read = self._service_read_fast
+        else:
+            self._service_write = self._service_write_checked
+            self._service_read = self._service_read_checked
+
     def submit(self, command: Command) -> Command:
         """Submit a command; raises :class:`DeviceBusyError` if the queue is full."""
         if not self.try_submit(command):
@@ -184,32 +204,43 @@ class StorageDevice:
             self.queue_depth_series.record(self.sim.now, depth)
 
     def _controller_loop(self):
-        profile = self.profile
+        # The loop drains every queued command before it sleeps: one
+        # selection per service completion (selection timing is load-bearing:
+        # the SCSI-attribute RNG draws must see exactly the commands that
+        # arrived while the previous command was in service).  All per-entry
+        # attribute lookups are hoisted out of the loop.
+        sim = self.sim
+        timeout = sim.timeout
+        select_next = self.queue.select_next
+        command_overhead = self.profile.command_overhead
+        flush_kind = CommandKind.FLUSH
+        read_kind = CommandKind.READ
+        wait_for_work = self._queue_activity.wait
+        record_depth = self._record_queue_depth
+        notify_slot = self._slot_freed.notify_all
         while True:
-            command = self.queue.select_next()
+            command = select_next()
             if command is None:
-                yield self._queue_activity.wait()
+                yield wait_for_work()
                 continue
-            self._record_queue_depth()
-            self._slot_freed.notify_all()
-            command.service_start_time = self.sim.now
-            yield self.sim.timeout(profile.command_overhead)
+            record_depth()
+            notify_slot()
+            command.service_start_time = sim.now
+            yield timeout(command_overhead)
 
-            if command.kind is CommandKind.FLUSH:
+            kind = command.kind
+            if kind is flush_kind:
                 # Flushes proceed asynchronously so that the device keeps
                 # accepting and transferring queued writes while the cache
                 # drains (this is what lets the dual-mode journal pipeline
                 # journal commits).
-                self.sim.process(
+                sim.process(
                     self._service_flush(command), name="device.flush", daemon=True
                 )
-                continue
-
-            if command.kind is CommandKind.READ:
+            elif kind is read_kind:
                 yield from self._service_read(command)
-                continue
-
-            yield from self._service_write(command)
+            else:
+                yield from self._service_write(command)
 
     def _fail_command(self, command: Command, error: str):
         """Complete ``command`` with an error status instead of servicing it.
@@ -228,35 +259,77 @@ class StorageDevice:
         command.complete_time = self.sim.now
         command.completed.succeed(command)
 
-    def _service_read(self, command: Command):
-        injector = self.fault_injector
-        if injector is not None:
-            error = injector.command_error(command)
-            if error is not None:
-                yield from self._fail_command(command, error)
-                return
+    def _service_read_fast(self, command: Command):
+        """Service a read with no fault injector installed (the hot path)."""
+        sim = self.sim
         yield self.flash.read(command.num_pages)
-        yield self.sim.timeout(command.num_pages * self.profile.transfer_time_per_page)
-        command.transfer_time = self.sim.now
+        yield sim.timeout(command.num_pages * self.profile.transfer_time_per_page)
+        command.transfer_time = sim.now
         command.transferred.succeed(command)
-        yield self.sim.timeout(self.profile.completion_overhead)
-        command.complete_time = self.sim.now
+        yield sim.timeout(self.profile.completion_overhead)
+        command.complete_time = sim.now
         self.stats.reads_serviced += 1
         command.completed.succeed(command)
 
-    def _service_write(self, command: Command):
+    def _service_read_checked(self, command: Command):
+        """Read service with the fault-injection hook sites active."""
+        error = self._fault_injector.command_error(command)
+        if error is not None:
+            yield from self._fail_command(command, error)
+            return
+        yield from self._service_read_fast(command)
+
+    def _service_write_fast(self, command: Command):
+        """Service a write with no fault injector installed (the hot path)."""
         profile = self.profile
-        injector = self.fault_injector
-        if injector is not None:
-            error = injector.command_error(command)
-            if error is not None:
-                yield from self._fail_command(command, error)
-                return
+        sim = self.sim
+        if command.wants_preflush:
+            yield from self._drain_dirty_upto(self.cache.last_dirty_seq)
+            yield sim.timeout(profile.flush_overhead)
+
+        yield sim.timeout(command.num_pages * profile.transfer_time_per_page)
+        now = sim.now
+        command.transfer_time = now
+        epoch = self.current_epoch
+        command.epoch = epoch
+        entries = self.cache.admit(
+            command.payload,
+            epoch=epoch,
+            time=now,
+            command_id=command.command_id,
+            durable_immediately=self.barrier_mode is BarrierMode.PLP,
+        )
+        if command.is_barrier and self.barrier_mode.supports_barrier:
+            self.current_epoch = epoch + 1
+            self.stats.barrier_writes += 1
+        self.stats.pages_transferred += command.num_pages
+        command.transferred.succeed(command)
+        self._cache_work.notify_all()
+        if self.crash_tap is not None:
+            self.crash_tap("transfer", command.num_pages)
+
+        if command.is_fua:
+            self.stats.fua_writes += 1
+            yield from self._persist_fua(entries)
+
+        yield sim.timeout(profile.completion_overhead)
+        command.complete_time = sim.now
+        self.stats.writes_serviced += 1
+        command.completed.succeed(command)
+
+    def _service_write_checked(self, command: Command):
+        """Write service with the fault-injection hook sites active."""
+        profile = self.profile
+        injector = self._fault_injector
+        error = injector.command_error(command)
+        if error is not None:
+            yield from self._fail_command(command, error)
+            return
         if command.wants_preflush:
             # A lying device acknowledges the pre-flush without draining the
             # cache; the FUA payload itself is still programmed for real.
-            if injector is None or not injector.lie_on_flush():
-                yield from self._drain_dirty_upto(self._dirty_watermark())
+            if not injector.lie_on_flush():
+                yield from self._drain_dirty_upto(self.cache.last_dirty_seq)
             yield self.sim.timeout(profile.flush_overhead)
 
         yield self.sim.timeout(command.num_pages * profile.transfer_time_per_page)
@@ -300,8 +373,8 @@ class StorageDevice:
         else:
             pages = None
         yield self.flash.program(len(pending), overhead_factor=overhead)
-        if self.fault_injector is not None:
-            self.fault_injector.damage_batch(self, pending)
+        if self._fault_injector is not None:
+            self._fault_injector.damage_batch(self, pending)
         self.cache.mark_durable(pending, self.sim.now)
         if self.ftl is not None and pages is not None:
             self.ftl.mark_programmed(pages, self.sim.now)
@@ -312,9 +385,9 @@ class StorageDevice:
             self.crash_tap("program", len(pending))
 
     def _service_flush(self, command: Command):
-        injector = self.fault_injector
+        injector = self._fault_injector
         if injector is None or not injector.lie_on_flush():
-            yield from self._drain_dirty_upto(self._dirty_watermark())
+            yield from self._drain_dirty_upto(self.cache.last_dirty_seq)
         yield self.sim.timeout(self.profile.flush_overhead)
         command.transfer_time = self.sim.now
         command.transferred.succeed(command)
@@ -324,67 +397,62 @@ class StorageDevice:
         if self.crash_tap is not None:
             self.crash_tap("flush", 0)
 
-    def _dirty_watermark(self) -> Optional[int]:
-        dirty = self.cache.dirty_entries
-        if not dirty:
-            return None
-        return max(entry.transfer_seq for entry in dirty)
-
     def _drain_dirty_upto(self, watermark: Optional[int]):
-        """Wait until every cache entry admitted up to ``watermark`` is durable."""
+        """Wait until every cache entry admitted up to ``watermark`` is durable.
+
+        The dirty window is transfer-ordered, so "anything at or below the
+        watermark still dirty" is a single head check instead of a scan.
+        """
         if watermark is None:
             return
         if self._drain_watermark is None or watermark > self._drain_watermark:
             self._drain_watermark = watermark
         self._cache_work.notify_all()
-        while any(
-            entry.transfer_seq <= watermark and not entry.is_durable
-            for entry in self.cache.dirty_entries
-        ):
+        cache = self.cache
+        while True:
+            first = cache.first_dirty
+            if first is None or first.transfer_seq > watermark:
+                return
             yield self._durability_advanced.wait()
 
     # ------------------------------------------------------------------ flusher
-    def _pending_dirty(self) -> list[CacheEntry]:
-        """Dirty entries not already being programmed, in transfer order."""
-        return [
-            entry
-            for entry in self.cache.dirty_entries
-            if entry.transfer_seq not in self._in_flight
-        ]
-
-    def _should_drain(self, dirty: list[CacheEntry]) -> bool:
-        """Whether the flusher should start programming right away.
-
-        The controller writes back when (i) the host asked for durability
-        (flush/FUA set a drain watermark), (ii) enough pages accumulated to
-        fill one program round, or (iii) the oldest dirty page has sat in the
-        cache longer than ``max_dirty_age``.  Otherwise it keeps coalescing,
-        which is what lets a journal commit's D, JD and JC all go to flash in
-        a single program round.
-        """
-        if not dirty:
-            return False
-        if self._drain_watermark is not None and any(
-            entry.transfer_seq <= self._drain_watermark for entry in dirty
-        ):
-            return True
-        if len(dirty) >= self.profile.parallelism:
-            return True
-        oldest_age = self.sim.now - dirty[0].transfer_time
-        return oldest_age >= self.max_dirty_age
+    def _first_pending(self) -> Optional[CacheEntry]:
+        """Oldest dirty entry not already being programmed."""
+        first = self.cache.first_dirty
+        in_flight = self._in_flight
+        if first is None or not in_flight:
+            return first
+        for entry in self.cache.iter_dirty():
+            if entry.transfer_seq not in in_flight:
+                return entry
+        return None
 
     def _flusher_loop(self):
+        # Drain policy (unchanged from the scan-based implementation, but
+        # now O(1) per wakeup): the flusher programs when (i) the host asked
+        # for durability (flush/FUA set a drain watermark), (ii) enough pages
+        # accumulated to fill one program round, or (iii) the oldest dirty
+        # page has sat in the cache longer than ``max_dirty_age``.  Otherwise
+        # it keeps coalescing, which is what lets a journal commit's D, JD
+        # and JC all go to flash in a single program round.
+        sim = self.sim
+        cache = self.cache
+        in_flight = self._in_flight
+        parallelism = self.profile.parallelism
         while True:
-            dirty = self._pending_dirty()
-            if not dirty:
+            first = self._first_pending()
+            if first is None:
                 yield self._cache_work.wait()
                 continue
-            if not self._should_drain(dirty):
-                oldest_age = self.sim.now - dirty[0].transfer_time
+            watermark = self._drain_watermark
+            oldest_age = sim.now - first.transfer_time
+            if not (
+                (watermark is not None and first.transfer_seq <= watermark)
+                or cache.resident_pages - len(in_flight) >= parallelism
+                or oldest_age >= self.max_dirty_age
+            ):
                 remaining = max(1.0, self.max_dirty_age - oldest_age)
-                yield self.sim.any_of(
-                    [self._cache_work.wait(), self.sim.timeout(remaining)]
-                )
+                yield sim.any_of([self._cache_work.wait(), sim.timeout(remaining)])
                 continue
             batch = self._select_flush_batch()
             if not batch:
@@ -401,8 +469,8 @@ class StorageDevice:
                 self._flush_group_counter += 1
                 flush_group = self._flush_group_counter
             yield self.flash.program(len(batch), overhead_factor=overhead)
-            if self.fault_injector is not None:
-                self.fault_injector.damage_batch(self, batch)
+            if self._fault_injector is not None:
+                self._fault_injector.damage_batch(self, batch)
             if self.crash_tap is not None and self.barrier_mode is BarrierMode.NONE:
                 # Legacy device under crash exploration: the planes of a
                 # program round land independently at power cut, so expose a
@@ -425,33 +493,68 @@ class StorageDevice:
                 self.crash_tap("program", len(batch))
 
     def _select_flush_batch(self) -> list[CacheEntry]:
-        """Choose the next set of cache entries to program, per barrier mode."""
-        if self.barrier_mode is BarrierMode.PLP:
+        """Choose the next set of cache entries to program, per barrier mode.
+
+        Selection walks the transfer-ordered dirty window and stops as soon
+        as the batch is full (epochs are nondecreasing in transfer order, so
+        the oldest epoch is the first pending entry's epoch and its pages
+        form a prefix).  Only the legacy ``NONE`` mode still materializes the
+        whole pending set — its controller shuffles it, and the RNG stream
+        depends on the full population.
+        """
+        mode = self.barrier_mode
+        if mode is BarrierMode.PLP:
             return []
-        dirty = self._pending_dirty()
-        if not dirty:
-            return []
+        in_flight = self._in_flight
         parallelism = self.profile.parallelism
 
-        if self.barrier_mode is BarrierMode.IN_ORDER_WRITEBACK:
+        if mode is BarrierMode.IN_ORDER_WRITEBACK:
             # Only the oldest epoch that still has dirty pages may be
             # programmed; younger epochs wait for it.
-            oldest_epoch = min(entry.epoch for entry in dirty)
-            eligible = [entry for entry in dirty if entry.epoch == oldest_epoch]
-            return eligible[:parallelism]
+            batch: list[CacheEntry] = []
+            epoch = -1
+            for entry in self.cache.iter_dirty():
+                if entry.transfer_seq in in_flight:
+                    continue
+                if not batch:
+                    epoch = entry.epoch
+                elif entry.epoch != epoch:
+                    break
+                batch.append(entry)
+                if len(batch) >= parallelism:
+                    break
+            return batch
 
-        if self.barrier_mode is BarrierMode.TRANSACTIONAL:
+        if mode is BarrierMode.TRANSACTIONAL:
             # The whole dirty set is flushed as a single atomic group.
-            return dirty
+            return [
+                entry
+                for entry in self.cache.iter_dirty()
+                if entry.transfer_seq not in in_flight
+            ]
 
-        if self.barrier_mode is BarrierMode.NONE:
+        if mode is BarrierMode.NONE:
             # Legacy device: the controller drains in whatever order it
             # pleases.  Sample without replacement to model that freedom.
+            dirty = [
+                entry
+                for entry in self.cache.iter_dirty()
+                if entry.transfer_seq not in in_flight
+            ]
+            if not dirty:
+                return []
             self._rng.shuffle(dirty)
             return dirty[:parallelism]
 
         # IN_ORDER_RECOVERY: drain in transfer (log) order at full speed.
-        return dirty[:parallelism]
+        batch = []
+        for entry in self.cache.iter_dirty():
+            if entry.transfer_seq in in_flight:
+                continue
+            batch.append(entry)
+            if len(batch) >= parallelism:
+                break
+        return batch
 
     # ------------------------------------------------------------------ crash support
     def power_off(self) -> None:
@@ -477,4 +580,4 @@ class StorageDevice:
 
     def drain(self) -> Iterable[Event]:
         """Generator helper: wait until the writeback cache is fully durable."""
-        yield from self._drain_dirty_upto(self._dirty_watermark())
+        yield from self._drain_dirty_upto(self.cache.last_dirty_seq)

@@ -14,67 +14,166 @@ The FTL also keeps a logical→physical mapping table and performs a simple
 greedy garbage collection when it runs low on free segments, so that the
 write-amplification/occupancy bookkeeping a real FTL does is represented,
 even though the paper's evaluation does not stress GC.
+
+Bookkeeping is flat: a segment stores its pages as parallel columns (an
+entry list plus ``array('d')`` timestamp columns, NaN meaning "program still
+outstanding"), and the mapping table stores packed ``segment_id * capacity
++ offset`` integers.  :class:`SegmentPage` and :class:`PageLocation` remain
+as lightweight views over those columns so the public API — ``append_batch``
+returning indexable page handles, ``mapping[block].segment_id``,
+``segment.pages`` — is unchanged.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from array import array
+from collections.abc import Mapping
+from typing import Iterable, Iterator, Optional
 
 from repro.storage.writeback_cache import CacheEntry
 
+#: Sentinel stored in the ``programmed_at`` column while the program is
+#: outstanding.  NaN is unambiguous — simulation timestamps are finite —
+#: and lets the column stay a flat C-double array.
+_NOT_PROGRAMMED = float("nan")
 
-@dataclass
+
 class PageLocation:
     """Physical location of one logical page (segment id + offset)."""
 
-    segment_id: int
-    offset: int
+    __slots__ = ("segment_id", "offset")
+
+    def __init__(self, segment_id: int, offset: int):
+        self.segment_id = segment_id
+        self.offset = offset
+
+    def __repr__(self) -> str:
+        return f"PageLocation(segment_id={self.segment_id}, offset={self.offset})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PageLocation):
+            return NotImplemented
+        return self.segment_id == other.segment_id and self.offset == other.offset
+
+    def __hash__(self) -> int:
+        return hash((self.segment_id, self.offset))
 
 
-@dataclass
 class SegmentPage:
-    """One slot of a segment: which cache entry was appended and when it
-    finished programming (``None`` while the program is still outstanding)."""
+    """View over one slot of a segment: which cache entry was appended and
+    when it finished programming (``None`` while the program is still
+    outstanding)."""
 
-    entry: CacheEntry
-    appended_at: float
-    programmed_at: Optional[float] = None
+    __slots__ = ("segment", "offset")
+
+    def __init__(self, segment: "Segment", offset: int):
+        self.segment = segment
+        self.offset = offset
+
+    @property
+    def entry(self) -> CacheEntry:
+        """The cache entry appended into this slot."""
+        return self.segment.entry_column[self.offset]
+
+    @property
+    def appended_at(self) -> float:
+        """Simulation time the entry was appended to the log."""
+        return self.segment.appended_column[self.offset]
+
+    @property
+    def programmed_at(self) -> Optional[float]:
+        """Time the program finished, or ``None`` while outstanding."""
+        value = self.segment.programmed_column[self.offset]
+        return None if value != value else value  # NaN check
+
+    @programmed_at.setter
+    def programmed_at(self, value: Optional[float]) -> None:
+        self.segment.programmed_column[self.offset] = (
+            _NOT_PROGRAMMED if value is None else value
+        )
 
     @property
     def is_programmed(self) -> bool:
         """Whether the page has been programmed to flash."""
-        return self.programmed_at is not None
+        value = self.segment.programmed_column[self.offset]
+        return value == value  # not NaN
+
+    def __repr__(self) -> str:
+        return (
+            f"SegmentPage(segment={self.segment.segment_id}, "
+            f"offset={self.offset}, entry={self.entry!r})"
+        )
 
 
-@dataclass
 class Segment:
-    """A fixed-size log segment."""
+    """A fixed-size log segment backed by parallel flat columns."""
 
-    segment_id: int
-    capacity: int
-    pages: list[SegmentPage] = field(default_factory=list)
-    sealed: bool = False
+    __slots__ = (
+        "segment_id",
+        "capacity",
+        "sealed",
+        "entry_column",
+        "appended_column",
+        "programmed_column",
+    )
+
+    def __init__(self, segment_id: int, capacity: int):
+        self.segment_id = segment_id
+        self.capacity = capacity
+        self.sealed = False
+        #: Parallel columns, one slot per appended page (log order).
+        self.entry_column: list[CacheEntry] = []
+        self.appended_column: array = array("d")
+        self.programmed_column: array = array("d")
+
+    @property
+    def pages(self) -> list[SegmentPage]:
+        """Page views in log order (materialized on demand)."""
+        return [SegmentPage(self, offset) for offset in range(len(self.entry_column))]
 
     @property
     def is_full(self) -> bool:
         """Whether every slot of the segment has been appended."""
-        return len(self.pages) >= self.capacity
+        return len(self.entry_column) >= self.capacity
 
     @property
     def live_pages(self) -> int:
-        """Number of pages whose mapping still points into this segment."""
-        return sum(1 for page in self.pages if not getattr(page, "invalidated", False))
+        """Number of pages appended into this segment."""
+        return len(self.entry_column)
+
+    def programmed_count(self) -> int:
+        """Length of the programmed prefix (stops at the first hole)."""
+        count = 0
+        for value in self.programmed_column:
+            if value != value:  # NaN — program never finished
+                break
+            count += 1
+        return count
 
     def programmed_prefix(self) -> list[SegmentPage]:
         """Pages up to (excluding) the first unprogrammed one, in log order."""
-        prefix = []
-        for page in self.pages:
-            if not page.is_programmed:
-                break
-            prefix.append(page)
-        return prefix
+        return [SegmentPage(self, offset) for offset in range(self.programmed_count())]
+
+
+class _MappingView(Mapping):
+    """Read-only ``block -> PageLocation`` view over the packed location table."""
+
+    __slots__ = ("_locations", "_stride")
+
+    def __init__(self, locations: dict, stride: int):
+        self._locations = locations
+        self._stride = stride
+
+    def __getitem__(self, block: object) -> PageLocation:
+        packed = self._locations[block]
+        return PageLocation(packed // self._stride, packed % self._stride)
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._locations)
+
+    def __len__(self) -> int:
+        return len(self._locations)
 
 
 class LogStructuredFTL:
@@ -91,8 +190,11 @@ class LogStructuredFTL:
         self.segments: dict[int, Segment] = {}
         self.segment_order: list[int] = []
         self.active_segment: Segment = self._open_segment()
-        #: logical block -> location of its most recent durable version
-        self.mapping: dict[object, PageLocation] = {}
+        #: logical block -> packed ``segment_id * segment_pages + offset`` of
+        #: its most recent durable version (flat ints, no per-page objects).
+        self._locations: dict[object, int] = {}
+        #: Read-only dict-like façade materializing :class:`PageLocation`.
+        self.mapping = _MappingView(self._locations, segment_pages)
         self.gc_runs = 0
         self.pages_relocated = 0
 
@@ -105,25 +207,26 @@ class LogStructuredFTL:
 
     def append(self, entry: CacheEntry, time: float) -> SegmentPage:
         """Append one cache entry to the active segment (transfer order)."""
-        if self.active_segment.is_full:
-            self.active_segment.sealed = True
-            self.active_segment = self._open_segment()
-        page = SegmentPage(entry=entry, appended_at=time)
         segment = self.active_segment
-        segment.pages.append(page)
-        self.mapping[entry.block] = PageLocation(
-            segment_id=segment.segment_id, offset=len(segment.pages) - 1
-        )
-        return page
+        if len(segment.entry_column) >= segment.capacity:
+            segment.sealed = True
+            segment = self.active_segment = self._open_segment()
+        offset = len(segment.entry_column)
+        segment.entry_column.append(entry)
+        segment.appended_column.append(time)
+        segment.programmed_column.append(_NOT_PROGRAMMED)
+        self._locations[entry.block] = segment.segment_id * self.segment_pages + offset
+        return SegmentPage(segment, offset)
 
     def append_batch(self, entries: Iterable[CacheEntry], time: float) -> list[SegmentPage]:
         """Append several entries preserving their order."""
-        return [self.append(entry, time) for entry in entries]
+        append = self.append
+        return [append(entry, time) for entry in entries]
 
     def mark_programmed(self, pages: Iterable[SegmentPage], time: float) -> None:
         """Record that the given log pages finished programming at ``time``."""
         for page in pages:
-            page.programmed_at = time
+            page.segment.programmed_column[page.offset] = time
 
     # -- occupancy / garbage collection ---------------------------------------
     @property
@@ -157,12 +260,13 @@ class LogStructuredFTL:
         if not candidates:
             return 0
         victim = min(candidates, key=self._live_page_count)
+        locations = self._locations
+        base = victim.segment_id * self.segment_pages
         relocated = 0
-        for offset, page in enumerate(victim.pages):
-            location = self.mapping.get(page.entry.block)
-            if location and location.segment_id == victim.segment_id and location.offset == offset:
-                new_page = self.append(page.entry, time)
-                new_page.programmed_at = time
+        for offset, entry in enumerate(victim.entry_column):
+            if locations.get(entry.block) == base + offset:
+                new_page = self.append(entry, time)
+                new_page.segment.programmed_column[new_page.offset] = time
                 relocated += 1
         del self.segments[victim.segment_id]
         self.segment_order.remove(victim.segment_id)
@@ -171,10 +275,11 @@ class LogStructuredFTL:
         return relocated
 
     def _live_page_count(self, segment: Segment) -> int:
+        locations = self._locations
+        base = segment.segment_id * self.segment_pages
         live = 0
-        for offset, page in enumerate(segment.pages):
-            location = self.mapping.get(page.entry.block)
-            if location and location.segment_id == segment.segment_id and location.offset == offset:
+        for offset, entry in enumerate(segment.entry_column):
+            if locations.get(entry.block) == base + offset:
                 live += 1
         return live
 
@@ -191,8 +296,8 @@ class LogStructuredFTL:
         recovered: list[CacheEntry] = []
         for segment_id in self.segment_order:
             segment = self.segments[segment_id]
-            prefix = segment.programmed_prefix()
-            recovered.extend(page.entry for page in prefix)
-            if len(prefix) < len(segment.pages):
+            count = segment.programmed_count()
+            recovered.extend(segment.entry_column[:count])
+            if count < len(segment.entry_column):
                 break
         return recovered
