@@ -17,6 +17,10 @@ a first-class artifact.  This module measures four rates:
   no injector at all.  The injection hooks are ``is None`` attribute tests
   on the device hot path; this metric pins their cost (the guard is that
   the fault subsystem stays effectively free when unused).
+* ``trace_overhead_pct`` — same shape for the tracing subsystem: the fsync
+  path with a :class:`repro.trace.Tracer` installed but disabled, relative
+  to no tracer at all.  An uninstalled tracer costs exactly nothing (the
+  original methods are untouched); this pins the installed-but-idle cost.
 
 ``python -m repro.analysis.perfbench`` appends one record to
 ``BENCH_engine.json`` so the perf trajectory is recorded PR over PR; see
@@ -132,6 +136,41 @@ def fault_hook_overhead_pct(
     return 100.0 * (best_clean - best_hooked) / best_clean
 
 
+def trace_overhead_pct(
+    calls: int = 400, config: str = "BFS-DR", samples: int = 5
+) -> float:
+    """Percent full-loop events/sec cost of tracing when it is not used.
+
+    Compares the fsync path with no tracer at all against one *installed
+    but idle* (``Tracer(enabled=False)``): the wrappers are method-swapped
+    in, each reduced to one flag test plus delegation.  The uninstalled
+    side is the number the subsystem's design promises is free — no tracer
+    means the original bound methods, zero added branches — so this metric
+    measures the residual cost of keeping the hooks resident.  Measured
+    exactly like :func:`fault_hook_overhead_pct`: end-to-end engine
+    events per CPU second, interleaved, best-of-``samples``.
+    """
+    from repro.trace import Tracer
+
+    def events_rate(with_tracer: bool) -> float:
+        stack = build_stack(standard_config(config))
+        if with_tracer:
+            Tracer(enabled=False).install(stack)
+        start = time.process_time()
+        measure_sync_latency(stack, calls=calls, sync_call="fsync", allocating=True)
+        elapsed = time.process_time() - start
+        events = next(stack.sim._sequence)
+        return events / elapsed
+
+    events_rate(True)  # warm-up (imports, caches) so ordering doesn't bias
+    clean, hooked = [], []
+    for _ in range(samples):
+        clean.append(events_rate(False))
+        hooked.append(events_rate(True))
+    best_clean, best_hooked = max(clean), max(hooked)
+    return 100.0 * (best_clean - best_hooked) / best_clean
+
+
 def sweep_warm_start_metrics(
     *, repeats: int = 3, quick: bool = False
 ) -> dict[str, float]:
@@ -210,6 +249,9 @@ def collect_metrics(*, repeats: int = 3, quick: bool = False) -> dict[str, float
         # would instead select the most negative noise excursion.
         "fault_hook_overhead_pct": round(
             fault_hook_overhead_pct(calls, samples=max(5, 3 * repeats)), 2
+        ),
+        "trace_overhead_pct": round(
+            trace_overhead_pct(calls, samples=max(5, 3 * repeats)), 2
         ),
     }
     metrics.update(sweep_warm_start_metrics(repeats=repeats, quick=quick))
@@ -307,16 +349,30 @@ def main(argv: list[str] | None = None) -> None:
             "CI perf-smoke regression gate"
         ),
     )
+    parser.add_argument(
+        "--assert-ceiling", action="append", default=[], metavar="METRIC=VALUE",
+        help=(
+            "fail (exit 1) if the named metric comes out above VALUE "
+            "(repeatable; e.g. --assert-ceiling trace_overhead_pct=15) — "
+            "the gate for overhead metrics, where lower is better"
+        ),
+    )
     args = parser.parse_args(argv)
-    floors: list[tuple[str, float]] = []
-    for item in args.assert_floor:
-        name, separator, raw = item.partition("=")
-        if not separator or not name:
-            parser.error(f"--assert-floor expects METRIC=VALUE, got {item!r}")
-        try:
-            floors.append((name, float(raw)))
-        except ValueError:
-            parser.error(f"--assert-floor value must be a number, got {item!r}")
+
+    def parse_bounds(items: list[str], flag: str) -> list[tuple[str, float]]:
+        bounds = []
+        for item in items:
+            name, separator, raw = item.partition("=")
+            if not separator or not name:
+                parser.error(f"{flag} expects METRIC=VALUE, got {item!r}")
+            try:
+                bounds.append((name, float(raw)))
+            except ValueError:
+                parser.error(f"{flag} value must be a number, got {item!r}")
+        return bounds
+
+    floors = parse_bounds(args.assert_floor, "--assert-floor")
+    ceilings = parse_bounds(args.assert_ceiling, "--assert-ceiling")
     if args.no_write:
         metrics = collect_metrics(repeats=args.repeats, quick=args.quick)
         print(json.dumps(metrics, indent=1))
@@ -333,8 +389,14 @@ def main(argv: list[str] | None = None) -> None:
             failures.append(f"{name}: no such metric")
         elif value < floor:
             failures.append(f"{name}: {value} < floor {floor}")
+    for name, ceiling in ceilings:
+        value = metrics.get(name)
+        if value is None:
+            failures.append(f"{name}: no such metric")
+        elif value > ceiling:
+            failures.append(f"{name}: {value} > ceiling {ceiling}")
     if failures:
-        raise SystemExit("perfbench floor check FAILED: " + "; ".join(failures))
+        raise SystemExit("perfbench bound check FAILED: " + "; ".join(failures))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -37,16 +37,21 @@ from repro.crashlab.report import CellReport, OracleVerdict, PointVerdict
 from repro.storage.crash import CrashBoundary, recover_durable_blocks
 
 
-def replay_to_point(spec, index: int) -> tuple[CrashProbe, Optional[CrashBoundary]]:
+def replay_to_point(
+    spec, index: int, *, tracer=None
+) -> tuple[CrashProbe, Optional[CrashBoundary]]:
     """Re-run ``spec`` until boundary ``index``, crash, and recover.
 
     Returns the probe (crash state + crashed stack) and the boundary the
     crash landed on — ``None`` when the run finished before reaching
-    ``index`` (the probe then describes the end-of-run state).
+    ``index`` (the probe then describes the end-of-run state).  A
+    :class:`repro.trace.Tracer` passed in observes the replay up to the
+    crash (its span buffer then holds the timeline leading to the failing
+    boundary); tracing never changes which state the crash captures.
     """
     from repro.scenarios import prepare_spec
 
-    workload = prepare_spec(spec)
+    workload = prepare_spec(spec, tracer=tracer)
     stack = workload.stack
     trigger = CrashTrigger(stack.device, index)
     stack.device.crash_tap = trigger
@@ -57,19 +62,28 @@ def replay_to_point(spec, index: int) -> tuple[CrashProbe, Optional[CrashBoundar
         boundary = crash.boundary
     finally:
         stack.device.crash_tap = None
+    if tracer is not None:
+        tracer.finalize()  # flush requests left in flight by the crash
     stack.device.power_off()
     state = recover_durable_blocks(stack.device)
     probe = CrashProbe.from_stack(state, stack, spec=spec, workload=workload)
     return probe, boundary
 
 
-def check_point(spec, index: int) -> PointVerdict:
+def check_point(spec, index: int, *, trace_tail: int = 0) -> PointVerdict:
     """Replay one crash point and run every applicable oracle.
 
     Module-level and picklable-by-reference: this is the unit of work the
-    process pool distributes.
+    process pool distributes.  ``trace_tail=N`` replays the point with the
+    cross-layer tracer installed and attaches the last ``N`` spans before
+    the crash to the verdict — the timeline a violation report shows.
     """
-    probe, boundary = replay_to_point(spec, index)
+    tracer = None
+    if trace_tail > 0:
+        from repro.trace import Tracer
+
+        tracer = Tracer(buffer_size=max(trace_tail, 16), metrics=False)
+    probe, boundary = replay_to_point(spec, index, tracer=tracer)
     verdicts = []
     for oracle in applicable_oracles(probe):
         passed, witness = True, None
@@ -90,10 +104,13 @@ def check_point(spec, index: int) -> PointVerdict:
         kind=boundary.kind if boundary is not None else "end-of-run",
         time=boundary.time if boundary is not None else probe.state.crash_time,
         verdicts=tuple(verdicts),
+        trace_tail=tuple(tracer.trace_tail(trace_tail)) if tracer is not None else (),
     )
 
 
-def _check_points(spec, indices: Sequence[int], *, jobs: int) -> list[PointVerdict]:
+def _check_points(
+    spec, indices: Sequence[int], *, jobs: int, trace_tail: int = 0
+) -> list[PointVerdict]:
     """Evaluate crash points, fanning out over worker processes if asked.
 
     ``map()`` preserves input order and each replay is self-contained, so
@@ -101,19 +118,23 @@ def _check_points(spec, indices: Sequence[int], *, jobs: int) -> list[PointVerdi
     """
     indices = list(indices)
     if jobs <= 1 or len(indices) <= 1:
-        return [check_point(spec, index) for index in indices]
+        return [check_point(spec, index, trace_tail=trace_tail) for index in indices]
 
     from concurrent.futures import ProcessPoolExecutor
+    from functools import partial
 
+    worker = partial(check_point, trace_tail=trace_tail)
     workers = min(jobs, len(indices))
     chunksize = max(1, len(indices) // (workers * 4))
     with ProcessPoolExecutor(max_workers=workers) as pool:
         return list(
-            pool.map(check_point, [spec] * len(indices), indices, chunksize=chunksize)
+            pool.map(worker, [spec] * len(indices), indices, chunksize=chunksize)
         )
 
 
-def _bisect(spec, total: int, *, points: Optional[int] = None) -> list[PointVerdict]:
+def _bisect(
+    spec, total: int, *, points: Optional[int] = None, trace_tail: int = 0
+) -> list[PointVerdict]:
     """Narrow to the earliest failing boundary: scout, then binary-refine.
 
     Crash violations are not monotone over the boundary index — a run
@@ -130,7 +151,7 @@ def _bisect(spec, total: int, *, points: Optional[int] = None) -> list[PointVerd
 
     def fails(index: int) -> bool:
         if index not in evaluated:
-            evaluated[index] = check_point(spec, index)
+            evaluated[index] = check_point(spec, index, trace_tail=trace_tail)
         return bool(evaluated[index].violations)
 
     if total == 0:
@@ -180,16 +201,21 @@ def explore(
     points: Optional[int] = None,
     seed: int = 0,
     jobs: int = 1,
+    trace_tail: int = 0,
 ) -> CellReport:
-    """Explore one scenario cell and return its :class:`CellReport`."""
+    """Explore one scenario cell and return its :class:`CellReport`.
+
+    ``trace_tail=N`` traces every replay and attaches the last ``N`` spans
+    before each crash to its verdict (rendered by the violation report).
+    """
     if points is not None and points < 1:
         raise ValueError(f"the crash-point budget must be at least 1, got {points}")
     boundaries = record_boundaries(spec)
     if strategy == "bisect":
-        verdicts = _bisect(spec, len(boundaries), points=points)
+        verdicts = _bisect(spec, len(boundaries), points=points, trace_tail=trace_tail)
     else:
         indices = select_points(strategy, boundaries, points=points, seed=seed)
-        verdicts = _check_points(spec, indices, jobs=jobs)
+        verdicts = _check_points(spec, indices, jobs=jobs, trace_tail=trace_tail)
     return CellReport(
         spec=spec,
         strategy=strategy,
@@ -206,6 +232,7 @@ def explore_cells(
     points: Optional[int] = None,
     seed: int = 0,
     jobs: int = 1,
+    trace_tail: int = 0,
 ) -> list[CellReport]:
     """Explore several cells (the ``runner crashcheck`` matrix), in order.
 
@@ -213,6 +240,13 @@ def explore_cells(
     the worker pool is never oversubscribed.
     """
     return [
-        explore(spec, strategy=strategy, points=points, seed=seed, jobs=jobs)
+        explore(
+            spec,
+            strategy=strategy,
+            points=points,
+            seed=seed,
+            jobs=jobs,
+            trace_tail=trace_tail,
+        )
         for spec in specs
     ]

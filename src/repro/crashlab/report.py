@@ -39,6 +39,11 @@ class PointVerdict:
     kind: str
     time: float
     verdicts: tuple[OracleVerdict, ...] = ()
+    #: The last spans before the crash (``Span.describe()`` lines), present
+    #: only when the exploration ran with ``trace_tail=N``; the violation
+    #: report appends them to the witness so a failing boundary comes with
+    #: the IO timeline that led to it.
+    trace_tail: tuple[str, ...] = ()
 
     @property
     def violations(self) -> list[OracleVerdict]:
@@ -190,6 +195,9 @@ def violations_result(reports: Sequence[CellReport]) -> ExperimentResult:
     for report in reports:
         spec = report.spec
         for point, verdict in report.violations:
+            witness = verdict.witness or "-"
+            if point.trace_tail:
+                witness += " || trace tail: " + " | ".join(point.trace_tail)
             result.add_row(
                 spec.device,
                 spec.config or "raw-block",
@@ -201,6 +209,6 @@ def violations_result(reports: Sequence[CellReport]) -> ExperimentResult:
                 point.time / MSEC,
                 verdict.oracle,
                 verdict.guaranteed,
-                verdict.witness or "-",
+                witness,
             )
     return result

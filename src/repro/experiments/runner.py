@@ -1,7 +1,8 @@
 """Run the paper's experiments — or any ad-hoc scenario matrix.
 
-Four command-line modes (see ``docs/EXPERIMENTS.md``,
-``docs/CRASH_CONSISTENCY.md`` and ``docs/FAULTS.md`` for full guides):
+Five command-line modes (see ``docs/EXPERIMENTS.md``,
+``docs/CRASH_CONSISTENCY.md``, ``docs/FAULTS.md`` and
+``docs/OBSERVABILITY.md`` for full guides):
 
 * ``python -m repro.experiments.runner [scale] [--only NAME] [--jobs N]``
   regenerates the eleven published tables;
@@ -16,7 +17,11 @@ Four command-line modes (see ``docs/EXPERIMENTS.md``,
 * ``python -m repro.experiments.runner faultcheck --workload W
   --config in-order-recovery --fault flush-lie`` composes the crash
   exploration with deterministic fault injection (:mod:`repro.faults`) and
-  verifies recovery with the fault-aware oracles.
+  verifies recovery with the fault-aware oracles;
+* ``python -m repro.experiments.runner trace --workload W --config C
+  --output trace.json --breakdown`` runs one scenario with the
+  cross-layer tracer installed (:mod:`repro.trace`) and exports a
+  Perfetto-loadable Chrome trace plus the per-stage fsync breakdown.
 
 All accept ``--format table|json|csv`` and ``--output PATH`` so results can
 be diffed and archived as CI artifacts.
@@ -326,6 +331,13 @@ def sweep_main(argv: list[str] | None = None) -> None:
         ),
     )
     parser.add_argument(
+        "--metrics", action="store_true",
+        help=(
+            "append the device/block counter columns (io_errors, retries, "
+            "requeues, power failures, ...) to every row"
+        ),
+    )
+    parser.add_argument(
         "--list", action="store_true",
         help="list the registered configs, devices and workloads, then exit",
     )
@@ -375,9 +387,136 @@ def sweep_main(argv: list[str] | None = None) -> None:
         specs,
         jobs=args.jobs,
         warm_start=args.warm_start,
+        metrics=args.metrics,
         description=f"ad-hoc scenario sweep ({len(specs)} scenarios)",
     )
     _emit([result], args.format, args.output)
+
+
+def trace_main(argv: list[str] | None = None) -> None:
+    """``runner trace``: run one traced scenario and export its spans."""
+    import argparse
+    import json
+
+    from repro.scenarios import STACK_CONFIGS, WORKLOADS
+    from repro.scenarios.engine import run_spec_traced
+    from repro.scenarios.spec import ScenarioSpec
+    from repro.storage.barrier_modes import BarrierMode
+    from repro.trace import Tracer, breakdown_result, chrome_trace
+
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner trace",
+        description=(
+            "Run one scenario with the cross-layer tracer installed and "
+            "export the spans as Chrome trace-event JSON (loadable at "
+            "https://ui.perfetto.dev), plus the per-stage fsync latency "
+            "breakdown and the streaming span metrics.  See "
+            "docs/OBSERVABILITY.md."
+        ),
+    )
+    parser.add_argument(
+        "-w", "--workload", required=True, metavar="NAME",
+        help=f"workload to trace; one of {WORKLOADS.names()}",
+    )
+    parser.add_argument(
+        "-c", "--config", default="EXT4-DR", metavar="NAME",
+        help=f"stack configuration (default EXT4-DR); one of {STACK_CONFIGS.names()}",
+    )
+    parser.add_argument(
+        "-d", "--device", default="plain-ssd", metavar="NAME",
+        help="device (default plain-ssd)",
+    )
+    parser.add_argument(
+        "--scheduler", metavar="NAME",
+        help="block-scheduler override; default: the config's choice",
+    )
+    parser.add_argument(
+        "--barrier-mode", metavar="MODE",
+        choices=[mode.value for mode in BarrierMode],
+        help="storage barrier-mode override; default: the device's choice",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="scenario seed (default 0)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="iteration-count multiplier (default 1.0)",
+    )
+    parser.add_argument(
+        "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="workload parameter, literal-evaluated (repeatable)",
+    )
+    parser.add_argument(
+        "--buffer", type=int, default=65_536, metavar="N",
+        help="span ring-buffer capacity (default 65536; oldest dropped first)",
+    )
+    parser.add_argument(
+        "--output", metavar="PATH",
+        help="write the Chrome trace-event JSON to this file",
+    )
+    parser.add_argument(
+        "--breakdown", action="store_true",
+        help="print the per-stage syscall latency breakdown table",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print the streaming span-metrics table (p50/p99/p999 per span)",
+    )
+    parser.add_argument(
+        "--format", choices=("table", "json", "csv"), default="table",
+        help="format of the breakdown/metrics tables (default table)",
+    )
+    args = parser.parse_args(argv)
+
+    params, accepted_by = _route_params(parser, [args.workload], args.param)
+    if not WORKLOADS.get(args.workload).needs_stack:
+        parser.error(
+            f"workload {args.workload!r} runs against the raw block device; "
+            "the tracer installs over a filesystem stack"
+        )
+    if args.buffer < 1:
+        parser.error("--buffer must be at least 1")
+    spec = ScenarioSpec(
+        workload=args.workload,
+        config=args.config,
+        device=args.device,
+        scheduler=args.scheduler,
+        barrier_mode=args.barrier_mode,
+        seed=args.seed,
+        scale=args.scale,
+        params={
+            key: value for key, value in params.items()
+            if key in accepted_by[args.workload]
+        },
+    )
+    tracer = Tracer(buffer_size=args.buffer)
+    outcome = run_spec_traced(spec, tracer)
+
+    label = spec.describe()
+    if args.output:
+        document = chrome_trace(
+            tracer.spans, label=label, dropped=tracer.spans.dropped
+        )
+        with open(args.output, "w") as handle:
+            json.dump(document, handle, indent=1)
+            handle.write("\n")
+    tables = []
+    if args.breakdown:
+        tables.append(breakdown_result(tracer.contexts, label=label))
+    if args.metrics and tracer.metrics is not None:
+        tables.append(tracer.metrics.result())
+    if tables:
+        _emit(tables, args.format, None)
+    summary = (
+        f"traced {outcome.result.operations} operations: {len(tracer.spans)} "
+        f"spans, {len(tracer.contexts)} syscall journeys"
+    )
+    if tracer.spans.dropped:
+        summary += f", {tracer.spans.dropped} spans dropped (ring full)"
+    if args.output:
+        summary += f" -> {args.output}"
+    print(summary)
 
 
 def crashcheck_main(argv: list[str] | None = None) -> None:
@@ -462,6 +601,13 @@ def crashcheck_main(argv: list[str] | None = None) -> None:
         ),
     )
     parser.add_argument(
+        "--trace-tail", type=int, default=0, metavar="N",
+        help=(
+            "trace every replay and attach the last N spans before each "
+            "crash to its violation witness (default 0: off)"
+        ),
+    )
+    parser.add_argument(
         "--list", action="store_true",
         help="list the registered oracles and strategies, then exit",
     )
@@ -523,6 +669,7 @@ def crashcheck_main(argv: list[str] | None = None) -> None:
         points=args.points,
         seed=args.seed,
         jobs=args.jobs,
+        trace_tail=max(args.trace_tail, 0),
     )
     _emit([summary_result(reports), violations_result(reports)], args.format, args.output)
 
@@ -627,6 +774,13 @@ def faultcheck_main(argv: list[str] | None = None) -> None:
         ),
     )
     parser.add_argument(
+        "--trace-tail", type=int, default=0, metavar="N",
+        help=(
+            "trace every replay and attach the last N spans before each "
+            "crash to its violation witness (default 0: off)"
+        ),
+    )
+    parser.add_argument(
         "--list", action="store_true",
         help="list the fault kinds, oracles and strategies, then exit",
     )
@@ -720,6 +874,7 @@ def faultcheck_main(argv: list[str] | None = None) -> None:
         points=args.points,
         seed=args.seed,
         jobs=args.jobs,
+        trace_tail=max(args.trace_tail, 0),
     )
     summary = summary_result(reports)
     summary.name = "faultcheck"
@@ -739,6 +894,9 @@ def main(argv: list[str] | None = None) -> None:
     arguments = list(sys.argv[1:]) if argv is None else list(argv)
     if arguments and arguments[0] == "sweep":
         sweep_main(arguments[1:])
+        return
+    if arguments and arguments[0] == "trace":
+        trace_main(arguments[1:])
         return
     if arguments and arguments[0] == "crashcheck":
         crashcheck_main(arguments[1:])

@@ -17,7 +17,7 @@ renders any ad-hoc sweep with generic throughput/latency columns — the
 
 from __future__ import annotations
 
-from dataclasses import replace
+from dataclasses import fields as dataclass_fields, replace
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro.analysis.reporting import ExperimentResult
@@ -60,12 +60,15 @@ def build_spec_stack(spec: ScenarioSpec) -> IOStack:
     return build_stack(replace(base, **overrides))
 
 
-def prepare_spec(spec: ScenarioSpec) -> Workload:
+def prepare_spec(spec: ScenarioSpec, *, tracer=None) -> Workload:
     """Instantiate and bind the workload a spec describes (without running).
 
     Returns the prepared workload; its ``stack`` attribute holds the built
     stack (``None`` for block-level workloads), which crash-recovery tests
-    use to inspect the device after the run.
+    use to inspect the device after the run.  Passing a
+    :class:`repro.trace.Tracer` installs it over the freshly built stack —
+    before any simulation activity, like the fault injector — so every
+    span from the first warmup request onward is captured.
     """
     workload_class = WORKLOADS.get(spec.workload)
     workload = workload_class(**dict(spec.params))
@@ -77,6 +80,13 @@ def prepare_spec(spec: ScenarioSpec) -> Workload:
             from repro.faults import FaultInjector
 
             FaultInjector(spec.faults, seed=spec.seed).install(stack.device)
+        if tracer is not None:
+            tracer.install(stack)
+    elif tracer is not None:
+        raise ValueError(
+            f"workload {spec.workload!r} builds no filesystem stack; "
+            "there is nothing to install a tracer on"
+        )
     else:
         _reject_stack_axes(spec)
         DEVICES.get(spec.device)  # validate the device axis up front
@@ -113,11 +123,55 @@ def _reject_stack_axes(spec: ScenarioSpec) -> None:
         )
 
 
+def collect_device_stats(stack) -> Optional[dict[str, dict[str, object]]]:
+    """Snapshot the counter fields of a stack's device and block layer.
+
+    Plain-data (picklable, JSON-ready) so it travels from snapshot worker
+    children and into sweep JSON/CSV rows.  ``None`` when the workload
+    built no stack (raw block-level runs own their devices internally).
+    """
+    if stack is None:
+        return None
+    device = stack.device.stats
+    block = stack.block.stats
+    snapshot: dict[str, dict[str, object]] = {
+        "device": {
+            stat.name: getattr(device, stat.name)
+            for stat in dataclass_fields(device)
+            if stat.name != "queue_depth"
+        },
+        "block": {
+            stat.name: getattr(block, stat.name) for stat in dataclass_fields(block)
+        },
+    }
+    snapshot["device"]["queue_depth_mean"] = device.queue_depth.mean()
+    snapshot["device"]["queue_depth_peak"] = device.queue_depth.peak
+    return snapshot
+
+
 def run_spec(spec: ScenarioSpec) -> ScenarioOutcome:
     """Execute one scenario (warmup prefix, then measured phase)."""
     workload = prepare_spec(spec)
     workload.warm()
-    return ScenarioOutcome(spec=spec, result=workload.run())
+    result = workload.run()
+    result.device_stats = collect_device_stats(workload.stack)
+    return ScenarioOutcome(spec=spec, result=result)
+
+
+def run_spec_traced(spec: ScenarioSpec, tracer) -> ScenarioOutcome:
+    """Execute one scenario with a tracer installed over its stack.
+
+    The tracer observes the whole run (warmup included); open request
+    bookkeeping is finalized afterwards so the span buffer holds no
+    half-closed entries.  The workload result is bit-identical to an
+    untraced :func:`run_spec` of the same spec — the hooks only observe.
+    """
+    workload = prepare_spec(spec, tracer=tracer)
+    workload.warm()
+    result = workload.run()
+    tracer.finalize()
+    result.device_stats = collect_device_stats(workload.stack)
+    return ScenarioOutcome(spec=spec, result=result)
 
 
 def run_specs(
@@ -203,6 +257,21 @@ SWEEP_COLUMNS = (
 )
 
 
+#: Counter columns appended by ``sweep_table(metrics=True)`` — the
+#: machine-readable fault/IO counters of satellite sweeps.  Each entry maps
+#: a column name to (section, field) of the ``device_stats`` snapshot.
+SWEEP_METRIC_COLUMNS = (
+    ("io_errors", "block", "io_errors"),
+    ("io_retries", "block", "io_retries"),
+    ("io_failures", "block", "io_failures"),
+    ("busy_requeues", "block", "busy_requeues"),
+    ("power_failures", "block", "power_failures"),
+    ("busy_rejections", "device", "busy_rejections"),
+    ("commands", "device", "commands_submitted"),
+    ("flushes", "device", "flushes_serviced"),
+)
+
+
 def _format_detail(extra: dict) -> str:
     """Workload-specific extras as a compact key=value string.
 
@@ -239,6 +308,21 @@ def _sweep_row(outcome: ScenarioOutcome) -> tuple:
     )
 
 
+def _sweep_row_with_metrics(outcome: ScenarioOutcome) -> tuple:
+    """The generic sweep row plus the device/block counter columns.
+
+    Counters are spliced in before the trailing ``detail`` column; rows of
+    stack-less workloads (no counters to read) show ``-``.
+    """
+    base = _sweep_row(outcome)
+    stats = outcome.result.device_stats
+    counters = tuple(
+        stats[section][field] if stats is not None else "-"
+        for _, section, field in SWEEP_METRIC_COLUMNS
+    )
+    return base[:-1] + counters + base[-1:]
+
+
 def sweep_table(
     specs: Sequence[ScenarioSpec],
     *,
@@ -247,14 +331,29 @@ def sweep_table(
     description: str = "ad-hoc scenario sweep",
     notes: str = "",
     warm_start: bool = False,
+    metrics: bool = False,
 ) -> ExperimentResult:
-    """Run any spec list and tabulate it with the generic sweep columns."""
+    """Run any spec list and tabulate it with the generic sweep columns.
+
+    ``metrics=True`` appends the :data:`SWEEP_METRIC_COLUMNS` counters
+    (io_errors, retries, requeues, power failures, ...) to every row; the
+    default table is unchanged, byte for byte.
+    """
+    columns = SWEEP_COLUMNS
+    row = _sweep_row
+    if metrics:
+        columns = (
+            SWEEP_COLUMNS[:-1]
+            + tuple(name_ for name_, _, _ in SWEEP_METRIC_COLUMNS)
+            + SWEEP_COLUMNS[-1:]
+        )
+        row = _sweep_row_with_metrics
     return run_matrix(
         name=name,
         description=description,
-        columns=SWEEP_COLUMNS,
+        columns=columns,
         specs=specs,
-        row=_sweep_row,
+        row=row,
         notes=notes,
         jobs=jobs,
         warm_start=warm_start,

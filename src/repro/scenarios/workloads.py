@@ -59,6 +59,11 @@ class WorkloadResult:
     elapsed_usec: float
     latencies: Optional[LatencyRecorder] = None
     extra: dict[str, object] = field(default_factory=dict)
+    #: Device and block-layer counter snapshot taken after the run
+    #: (:func:`repro.scenarios.engine.collect_device_stats`); ``None`` for
+    #: workloads that build no stack.  This is what puts fault counters
+    #: (io_errors, retries, requeues, power failures) into sweep rows.
+    device_stats: Optional[dict[str, dict[str, object]]] = None
 
     @property
     def ops_per_second(self) -> float:

@@ -1,9 +1,16 @@
 """Lightweight statistics collectors used throughout the simulation.
 
-Three collectors cover everything the paper's evaluation reports:
+Four collectors cover everything the paper's evaluation reports:
 
 * :class:`LatencyRecorder` — per-operation latency samples with the
   percentile summary of Table 1 (mean / median / 99 / 99.9 / 99.99).
+  Bounded: up to ``exact_window`` samples are kept verbatim (percentiles
+  are then exact, and small runs reproduce the published tables
+  bit-identically); past the window the recorder switches to streaming
+  P² quantile sketches, so memory stays flat at millions of operations.
+* :class:`P2Quantile` — the O(1)-memory streaming quantile estimator
+  (Jain & Chlamtac's P² algorithm) behind the recorder and the metrics
+  registry of :mod:`repro.trace`.
 * :class:`TimeSeries` — (time, value) samples, used for the queue-depth
   traces of Fig. 10 and Fig. 12.
 * :class:`TimeWeightedStat` — time-weighted average of a stepwise signal
@@ -43,6 +50,97 @@ def percentile(samples: Sequence[float], fraction: float) -> float:
     return min(max(value, ordered[0]), ordered[-1])
 
 
+class P2Quantile:
+    """Streaming quantile estimate in O(1) memory (the P² algorithm).
+
+    Jain & Chlamtac, "The P² algorithm for dynamic calculation of quantiles
+    and histograms without storing observations", CACM 1985.  Five markers
+    track the minimum, the target quantile, the two intermediate quantiles
+    and the maximum; marker heights are adjusted with a piecewise-parabolic
+    fit as observations stream in.  For fewer than five observations the
+    estimate is exact (computed from the buffered handful).
+    """
+
+    __slots__ = ("fraction", "_heights", "_positions", "_desired", "_rates", "count")
+
+    def __init__(self, fraction: float):
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(f"P2Quantile fraction must be in (0, 1), got {fraction}")
+        self.fraction = fraction
+        self._heights: list[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * fraction, 1.0 + 4.0 * fraction,
+                         3.0 + 2.0 * fraction, 5.0]
+        self._rates = [0.0, fraction / 2.0, fraction, (1.0 + fraction) / 2.0, 1.0]
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Feed one observation into the sketch."""
+        self.count += 1
+        heights = self._heights
+        if len(heights) < 5:
+            heights.append(value)
+            if len(heights) == 5:
+                heights.sort()
+            return
+
+        positions = self._positions
+        # Find the marker cell the observation falls into and bump extremes.
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while cell < 3 and value >= heights[cell + 1]:
+                cell += 1
+        for index in range(cell + 1, 5):
+            positions[index] += 1.0
+        desired = self._desired
+        for index, rate in enumerate(self._rates):
+            desired[index] += rate
+
+        # Adjust the three interior markers toward their desired positions.
+        for index in (1, 2, 3):
+            delta = desired[index] - positions[index]
+            if (delta >= 1.0 and positions[index + 1] - positions[index] > 1.0) or (
+                delta <= -1.0 and positions[index - 1] - positions[index] < -1.0
+            ):
+                step = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(index, step)
+                if heights[index - 1] < candidate < heights[index + 1]:
+                    heights[index] = candidate
+                else:
+                    # Parabolic fit left the bracket: fall back to linear.
+                    neighbor = index + int(step)
+                    heights[index] += step * (
+                        (heights[neighbor] - heights[index])
+                        / (positions[neighbor] - positions[index])
+                    )
+                positions[index] += step
+
+    def _parabolic(self, index: int, step: float) -> float:
+        heights, positions = self._heights, self._positions
+        return heights[index] + step / (positions[index + 1] - positions[index - 1]) * (
+            (positions[index] - positions[index - 1] + step)
+            * (heights[index + 1] - heights[index])
+            / (positions[index + 1] - positions[index])
+            + (positions[index + 1] - positions[index] - step)
+            * (heights[index] - heights[index - 1])
+            / (positions[index] - positions[index - 1])
+        )
+
+    def value(self) -> float:
+        """The current quantile estimate."""
+        if not self._heights:
+            raise ValueError("P2Quantile has no observations")
+        if len(self._heights) < 5 or self.count < 5:
+            return percentile(self._heights, self.fraction)
+        return self._heights[2]
+
+
 @dataclass
 class LatencySummary:
     """Summary statistics of a latency distribution (microseconds)."""
@@ -70,18 +168,53 @@ class LatencySummary:
         }
 
 
-class LatencyRecorder:
-    """Collects latency samples and summarises them like Table 1."""
+#: Summary percentiles, shared by the exact and the sketched paths.
+_SUMMARY_FRACTIONS = (0.50, 0.99, 0.999, 0.9999)
 
-    def __init__(self, name: str = "latency"):
+
+class LatencyRecorder:
+    """Collects latency samples and summarises them like Table 1.
+
+    Memory is bounded: the first ``exact_window`` samples are stored
+    verbatim and the summary percentiles are computed exactly from them —
+    every published experiment records well under the default window, so
+    their tables are bit-for-bit what the unbounded recorder produced.
+    Past the window the stored list stops growing and the summary switches
+    to streaming P² sketches (fed from the very first sample, so the
+    estimate reflects the whole stream); count, mean, min and max stay
+    exact at any length.  This is what lets open-loop runs record millions
+    of operations at O(1) incremental cost.
+    """
+
+    #: Samples kept verbatim before the summary switches to the sketches.
+    DEFAULT_EXACT_WINDOW = 65_536
+
+    def __init__(self, name: str = "latency", *, exact_window: int | None = None):
         self.name = name
+        self.exact_window = (
+            self.DEFAULT_EXACT_WINDOW if exact_window is None else exact_window
+        )
         self.samples: list[float] = []
+        self._count = 0
+        self._total = 0.0
+        self._minimum = math.inf
+        self._maximum = -math.inf
+        self._sketches = tuple(P2Quantile(f) for f in _SUMMARY_FRACTIONS)
 
     def record(self, latency: float) -> None:
         """Add one latency sample (microseconds)."""
         if latency < 0:
             raise ValueError(f"negative latency sample: {latency}")
-        self.samples.append(latency)
+        if self._count < self.exact_window:
+            self.samples.append(latency)
+        self._count += 1
+        self._total += latency
+        if latency < self._minimum:
+            self._minimum = latency
+        if latency > self._maximum:
+            self._maximum = latency
+        for sketch in self._sketches:
+            sketch.observe(latency)
 
     def extend(self, latencies: Iterable[float]) -> None:
         """Add many samples at once."""
@@ -89,28 +222,43 @@ class LatencyRecorder:
             self.record(latency)
 
     def __len__(self) -> int:
-        return len(self.samples)
+        return self._count
 
     @property
     def mean(self) -> float:
         """Arithmetic mean of the samples."""
-        if not self.samples:
+        if not self._count:
             raise ValueError(f"no samples recorded in {self.name}")
-        return sum(self.samples) / len(self.samples)
+        return self._total / self._count
+
+    @property
+    def saturated(self) -> bool:
+        """Whether the exact window overflowed (summary uses the sketches)."""
+        return self._count > len(self.samples)
 
     def summary(self) -> LatencySummary:
-        """Return the Table-1 style percentile summary."""
-        if not self.samples:
+        """Return the Table-1 style percentile summary.
+
+        Exact while the sample count fits the window; P² sketch estimates
+        (typically within a fraction of a percent) once it overflows.
+        """
+        if not self._count:
             raise ValueError(f"no samples recorded in {self.name}")
+        if not self.saturated:
+            median, p99, p999, p9999 = (
+                percentile(self.samples, f) for f in _SUMMARY_FRACTIONS
+            )
+        else:
+            median, p99, p999, p9999 = (s.value() for s in self._sketches)
         return LatencySummary(
-            count=len(self.samples),
+            count=self._count,
             mean=self.mean,
-            median=percentile(self.samples, 0.50),
-            p99=percentile(self.samples, 0.99),
-            p999=percentile(self.samples, 0.999),
-            p9999=percentile(self.samples, 0.9999),
-            minimum=min(self.samples),
-            maximum=max(self.samples),
+            median=median,
+            p99=p99,
+            p999=p999,
+            p9999=p9999,
+            minimum=self._minimum,
+            maximum=self._maximum,
         )
 
 

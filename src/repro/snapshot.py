@@ -32,7 +32,12 @@ import pickle
 from dataclasses import replace
 from typing import Sequence
 
-from repro.scenarios.engine import ScenarioOutcome, prepare_spec, run_spec
+from repro.scenarios.engine import (
+    ScenarioOutcome,
+    collect_device_stats,
+    prepare_spec,
+    run_spec,
+)
 from repro.scenarios.spec import ScenarioSpec
 from repro.scenarios.workloads import WORKLOADS
 
@@ -111,8 +116,10 @@ def _run_forked(workload, spec: ScenarioSpec) -> ScenarioOutcome:
             os.close(read_fd)
             workload.params = dict(spec.params)
             try:
+                result = workload.run()
+                result.device_stats = collect_device_stats(workload.stack)
                 payload = pickle.dumps(
-                    ("ok", workload.run()), protocol=pickle.HIGHEST_PROTOCOL
+                    ("ok", result), protocol=pickle.HIGHEST_PROTOCOL
                 )
                 status = 0
             except BaseException as exc:  # noqa: BLE001 - relayed to parent

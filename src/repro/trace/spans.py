@@ -1,0 +1,172 @@
+"""The span data model of the tracing subsystem.
+
+A *span* is one timed piece of a request's journey through the IO stack:
+the fs-layer ``fsync`` call itself, the scheduler wait of a block request,
+the DMA transfer of a device command, a flash program round.  Spans carry
+the layer, the operation, simulated start/end times, the persist epoch
+where one applies, and a ``ctx`` linking them to the :class:`TraceContext`
+of the syscall that caused them (``None`` for background work such as
+journal-thread writes).
+
+A :class:`TraceContext` is created at syscall entry and threaded — via the
+tracer's current-context window, see :mod:`repro.trace.tracer` — through
+every block request the syscall issues from its own execution slices.  It
+accumulates the milestone times (first issue, last dispatch, last
+transfer) that the per-layer latency breakdown is computed from.
+
+Both collections are bounded ring buffers: a tracer never grows without
+bound, it forgets the oldest spans first (``dropped`` counts what fell
+off), which is exactly what the crashlab trace-tail wants — the most
+recent window of activity before a failure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+#: Layer vocabulary, in stack order.  Chrome-trace export maps each layer
+#: to its own thread lane so Perfetto shows the stack top-to-bottom.
+LAYERS = ("fs", "journal", "block", "device", "flash")
+
+
+@dataclass
+class Span:
+    """One closed, timed operation at one layer of the IO stack."""
+
+    seq: int
+    layer: str
+    op: str
+    start: float
+    end: float
+    #: TraceContext id of the originating syscall, or ``None`` for
+    #: background activity (journal threads, flusher program rounds).
+    ctx: Optional[int] = None
+    #: Persist epoch, where the layer knows one (block issue epoch,
+    #: device command epoch).
+    epoch: Optional[int] = None
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span length in simulated microseconds."""
+        return self.end - self.start
+
+    def describe(self) -> str:
+        """Compact one-line rendering (crashlab trace tails)."""
+        extras = "".join(
+            f" {key}={value}" for key, value in sorted(self.detail.items())
+        )
+        ctx = f" ctx={self.ctx}" if self.ctx is not None else ""
+        epoch = f" epoch={self.epoch}" if self.epoch is not None else ""
+        return (
+            f"[{self.start:.1f}..{self.end:.1f}] {self.layer}.{self.op} "
+            f"({self.duration:.1f}us)" + ctx + epoch + extras
+        )
+
+
+@dataclass
+class TraceContext:
+    """Per-syscall request journey, from entry to return.
+
+    The milestone fields are maxima over every block request the syscall
+    issued from its own execution slices; they partition ``[start, end]``
+    into the submit → dispatch → transfer → persist stages of the
+    breakdown table (see :func:`repro.trace.export.breakdown_result`).
+    """
+
+    ctx_id: int
+    op: str
+    issuer: str
+    start: float
+    end: Optional[float] = None
+    #: Issue time of the first block request of the journey.
+    first_issue: Optional[float] = None
+    #: Dispatch time of the last request to leave the scheduler.
+    last_dispatch: Optional[float] = None
+    #: DMA-completion time of the last request to transfer.
+    last_transfer: Optional[float] = None
+    #: How many block requests the journey issued.
+    requests: int = 0
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def closed(self) -> bool:
+        """Whether the syscall has returned."""
+        return self.end is not None
+
+    def note_issue(self, time: float) -> None:
+        """Record a member request entering the block layer."""
+        self.requests += 1
+        if self.first_issue is None or time < self.first_issue:
+            self.first_issue = time
+
+    def note_dispatch(self, time: float) -> None:
+        """Record a member request leaving the IO scheduler."""
+        if self.last_dispatch is None or time > self.last_dispatch:
+            self.last_dispatch = time
+
+    def note_transfer(self, time: float) -> None:
+        """Record a member request finishing its DMA."""
+        if self.last_transfer is None or time > self.last_transfer:
+            self.last_transfer = time
+
+    def stage_deltas(self) -> Optional[dict[str, float]]:
+        """The per-stage latency decomposition of this journey.
+
+        Milestones are clamped monotonically into ``[start, end]`` so the
+        four deltas are non-negative and sum *exactly* (telescoping) to the
+        end-to-end latency.  A journey that issued no requests books its
+        whole latency as ``persist`` (it waited on work issued elsewhere,
+        e.g. a journal-thread commit).  Returns ``None`` while the syscall
+        is still open.
+        """
+        if self.end is None:
+            return None
+        cursor = self.start
+        clamped = []
+        for milestone in (self.first_issue, self.last_dispatch, self.last_transfer):
+            value = cursor if milestone is None else milestone
+            value = min(max(value, cursor), self.end)
+            clamped.append(value)
+            cursor = value
+        issue, dispatch, transfer = clamped
+        return {
+            "submit": issue - self.start,
+            "dispatch": dispatch - issue,
+            "transfer": transfer - dispatch,
+            "persist": self.end - transfer,
+            "end_to_end": self.end - self.start,
+        }
+
+
+class SpanBuffer:
+    """Bounded ring of closed spans (oldest dropped first)."""
+
+    def __init__(self, capacity: int = 65_536):
+        if capacity < 1:
+            raise ValueError("span buffer capacity must be at least 1")
+        self.capacity = capacity
+        self._spans: deque[Span] = deque(maxlen=capacity)
+        #: Spans that fell off the ring because it was full.
+        self.dropped = 0
+
+    def append(self, span: Span) -> None:
+        """Add a closed span, evicting the oldest if the ring is full."""
+        if len(self._spans) == self.capacity:
+            self.dropped += 1
+        self._spans.append(span)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self._spans)
+
+    def tail(self, count: int) -> list[Span]:
+        """The most recent ``count`` spans, oldest first."""
+        if count <= 0:
+            return []
+        spans = list(self._spans)
+        return spans[-count:]

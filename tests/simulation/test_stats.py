@@ -1,8 +1,11 @@
 """Unit tests for the statistics collectors."""
 
+import random
+
 import pytest
 
 from repro.simulation import LatencyRecorder, TimeSeries, TimeWeightedStat, percentile
+from repro.simulation.stats import P2Quantile
 
 
 def test_percentile_matches_linear_interpolation():
@@ -48,6 +51,62 @@ def test_latency_recorder_rejects_negative():
 def test_latency_recorder_empty_summary_raises():
     with pytest.raises(ValueError):
         LatencyRecorder().summary()
+
+
+def test_p2_quantile_is_exact_under_five_observations():
+    sketch = P2Quantile(0.5)
+    for value in (30.0, 10.0, 20.0):
+        sketch.observe(value)
+    assert sketch.value() == 20.0
+
+
+def test_p2_quantile_tracks_a_long_stream():
+    rng = random.Random(7)
+    samples = [rng.uniform(0.0, 1000.0) for _ in range(20_000)]
+    sketch = P2Quantile(0.99)
+    for value in samples:
+        sketch.observe(value)
+    exact = percentile(samples, 0.99)
+    # The P² estimate holds five markers, not 20k samples; accept ~2%.
+    assert sketch.value() == pytest.approx(exact, rel=0.02)
+
+
+def test_p2_quantile_rejects_bad_fraction_and_empty_value():
+    with pytest.raises(ValueError):
+        P2Quantile(0.0)
+    with pytest.raises(ValueError):
+        P2Quantile(1.0)
+    with pytest.raises(ValueError):
+        P2Quantile(0.5).value()
+
+
+def test_latency_recorder_is_exact_up_to_the_window():
+    bounded = LatencyRecorder(exact_window=64)
+    unbounded = LatencyRecorder()
+    values = [float((7 * i) % 100) for i in range(64)]
+    bounded.extend(values)
+    unbounded.extend(values)
+    assert not bounded.saturated
+    assert bounded.summary() == unbounded.summary()
+
+
+def test_latency_recorder_saturates_to_bounded_memory():
+    recorder = LatencyRecorder(exact_window=16)
+    rng = random.Random(3)
+    values = [rng.uniform(1.0, 500.0) for _ in range(5_000)]
+    recorder.extend(values)
+    assert recorder.saturated
+    assert len(recorder.samples) == 16  # storage stopped growing
+    summary = recorder.summary()
+    # Count, mean, min and max stay exact at any length...
+    assert summary.count == len(recorder) == 5_000
+    assert summary.mean == pytest.approx(sum(values) / len(values))
+    assert summary.minimum == min(values)
+    assert summary.maximum == max(values)
+    # ...while the percentiles come from the sketches, fed from sample one.
+    assert summary.median == pytest.approx(percentile(values, 0.5), rel=0.05)
+    assert summary.p99 == pytest.approx(percentile(values, 0.99), rel=0.05)
+    assert summary.minimum <= summary.p999 <= summary.maximum
 
 
 def test_time_series_time_weighted_average():

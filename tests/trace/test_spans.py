@@ -1,0 +1,93 @@
+"""Unit tests of the span data model: buffers, contexts, decomposition."""
+
+import pytest
+
+from repro.trace import Span, SpanBuffer, TraceContext
+
+
+def make_span(seq=1, layer="block", op="queue", start=10.0, end=25.0, **kwargs):
+    return Span(seq=seq, layer=layer, op=op, start=start, end=end, **kwargs)
+
+
+class TestSpan:
+    def test_duration(self):
+        assert make_span(start=10.0, end=25.0).duration == 15.0
+
+    def test_describe_includes_ctx_epoch_and_detail(self):
+        span = make_span(ctx=3, epoch=7, detail={"req": 5, "barrier": True})
+        line = span.describe()
+        assert line.startswith("[10.0..25.0] block.queue (15.0us)")
+        assert "ctx=3" in line
+        assert "epoch=7" in line
+        assert "req=5" in line and "barrier=True" in line
+
+    def test_describe_omits_absent_fields(self):
+        line = make_span().describe()
+        assert "ctx=" not in line and "epoch=" not in line
+
+
+class TestSpanBuffer:
+    def test_bounded_ring_drops_oldest_first(self):
+        buffer = SpanBuffer(4)
+        for seq in range(1, 7):
+            buffer.append(make_span(seq=seq))
+        assert len(buffer) == 4
+        assert buffer.dropped == 2
+        assert [span.seq for span in buffer] == [3, 4, 5, 6]
+
+    def test_tail_returns_most_recent_oldest_first(self):
+        buffer = SpanBuffer(8)
+        for seq in range(1, 6):
+            buffer.append(make_span(seq=seq))
+        assert [span.seq for span in buffer.tail(3)] == [3, 4, 5]
+        assert buffer.tail(0) == []
+        assert [span.seq for span in buffer.tail(100)] == [1, 2, 3, 4, 5]
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            SpanBuffer(0)
+
+
+class TestTraceContext:
+    def test_open_journey_has_no_deltas(self):
+        ctx = TraceContext(ctx_id=1, op="fsync", issuer="app", start=100.0)
+        assert not ctx.closed
+        assert ctx.stage_deltas() is None
+
+    def test_stage_deltas_telescope_to_end_to_end(self):
+        ctx = TraceContext(ctx_id=1, op="fsync", issuer="app", start=100.0)
+        ctx.note_issue(110.0)
+        ctx.note_issue(105.0)  # the earliest issue wins
+        ctx.note_dispatch(130.0)
+        ctx.note_dispatch(120.0)  # the latest dispatch wins
+        ctx.note_transfer(150.0)
+        ctx.end = 170.0
+        deltas = ctx.stage_deltas()
+        assert deltas == {
+            "submit": 5.0,
+            "dispatch": 25.0,
+            "transfer": 20.0,
+            "persist": 20.0,
+            "end_to_end": 70.0,
+        }
+        assert ctx.requests == 2
+
+    def test_journey_without_requests_books_everything_as_persist(self):
+        ctx = TraceContext(ctx_id=1, op="fdatasync", issuer="app", start=50.0)
+        ctx.end = 90.0
+        deltas = ctx.stage_deltas()
+        assert deltas["submit"] == deltas["dispatch"] == deltas["transfer"] == 0.0
+        assert deltas["persist"] == deltas["end_to_end"] == 40.0
+
+    def test_out_of_range_milestones_are_clamped_monotonically(self):
+        # A milestone after syscall return (trailing writeback) must not
+        # produce a negative stage.
+        ctx = TraceContext(ctx_id=1, op="osync", issuer="app", start=0.0)
+        ctx.note_issue(10.0)
+        ctx.note_dispatch(500.0)  # after end
+        ctx.note_transfer(5.0)  # before dispatch
+        ctx.end = 100.0
+        deltas = ctx.stage_deltas()
+        assert all(value >= 0.0 for value in deltas.values())
+        total = sum(deltas[stage] for stage in ("submit", "dispatch", "transfer", "persist"))
+        assert total == deltas["end_to_end"] == 100.0
