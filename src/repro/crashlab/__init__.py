@@ -25,13 +25,17 @@ sync-loop --barrier-mode in-order-recovery --strategy exhaustive`` (see
 """
 
 from repro.crashlab.engine import (
+    DEFAULT_CHECKPOINT_BUDGET,
+    DEFAULT_CHECKPOINT_EVERY,
     check_point,
     explore,
     explore_cells,
+    record_checkpointed,
     replay_to_point,
 )
 from repro.crashlab.points import (
     STRATEGIES,
+    CheckpointingRecorder,
     CrashPointReached,
     record_boundaries,
     select_points,
@@ -46,7 +50,10 @@ from repro.crashlab.report import (
 
 __all__ = [
     "CellReport",
+    "CheckpointingRecorder",
     "CrashPointReached",
+    "DEFAULT_CHECKPOINT_BUDGET",
+    "DEFAULT_CHECKPOINT_EVERY",
     "OracleVerdict",
     "PointVerdict",
     "STRATEGIES",
@@ -54,6 +61,7 @@ __all__ = [
     "explore",
     "explore_cells",
     "record_boundaries",
+    "record_checkpointed",
     "replay_to_point",
     "select_points",
     "summary_result",

@@ -70,6 +70,65 @@ class BoundaryRecorder:
         )
 
 
+class CheckpointingRecorder(BoundaryRecorder):
+    """Recording tap that also freezes fork checkpoints at scheduled boundaries.
+
+    In the recording process it records boundaries exactly like
+    :class:`BoundaryRecorder` and, whenever the store's
+    :class:`~repro.snapshot.CheckpointPolicy` schedules one, freezes the
+    whole process as a live checkpoint child
+    (:meth:`repro.snapshot.CheckpointStore.take`).  Because the fork
+    happens *inside this tap call*, the child is paused at an exact,
+    replayable boundary.
+
+    When the exploration later re-forks a checkpoint, the grandchild
+    resumes right here — ``take`` returns the request grant — and the tap
+    flips into trigger mode: it stops recording, counts onward from the
+    checkpoint boundary, and raises :class:`CrashPointReached` at the
+    requested target index, exactly as :class:`CrashTrigger` would have at
+    the same boundary of a from-scratch replay.
+    """
+
+    def __init__(self, device, store):
+        super().__init__(device)
+        self.store = store
+        #: ``(request, result_fd)`` once this process is a replay
+        #: grandchild; ``None`` in the recording process.
+        self.grant = None
+        self._count = 0
+        self._target = None
+
+    def __call__(self, kind: str, pages: int) -> None:
+        device = self.device
+        if self.grant is not None:
+            index = self._count
+            self._count += 1
+            if index >= self._target:
+                raise CrashPointReached(
+                    CrashBoundary(
+                        index=index,
+                        kind=kind,
+                        time=device.sim.now,
+                        pages=pages,
+                        epoch=device.current_epoch,
+                    )
+                )
+            return
+        super().__call__(kind, pages)
+        boundary = self.boundaries[-1]
+        if self.store.due(boundary.index, boundary.time):
+            grant = self.store.take(boundary.index, boundary.time)
+            if grant is not None:
+                # Replay grandchild, resuming at `boundary` (which has
+                # already fired): crash here if it is the target, else
+                # count onward to it.
+                self.grant = grant
+                self._count = boundary.index + 1
+                self._target = grant[0]["target"]
+                if self._target <= boundary.index:
+                    raise CrashPointReached(boundary)
+
+
 class CrashTrigger:
     """Injecting tap: counts boundaries and cuts power at ``target_index``."""
 
@@ -94,15 +153,22 @@ class CrashTrigger:
             )
 
 
-def record_boundaries(spec) -> list[CrashBoundary]:
-    """Run ``spec`` once and return every crash boundary it exposes."""
-    from repro.scenarios import WORKLOADS, prepare_spec
+def require_stack_workload(spec) -> None:
+    """Reject raw-block workloads: crashlab needs a stack to crash/recover."""
+    from repro.scenarios import WORKLOADS
 
     if not WORKLOADS.get(spec.workload).needs_stack:
         raise ValueError(
             f"workload {spec.workload!r} runs against the raw block device; "
             "crashlab needs a filesystem stack to crash and recover"
         )
+
+
+def record_boundaries(spec) -> list[CrashBoundary]:
+    """Run ``spec`` once and return every crash boundary it exposes."""
+    from repro.scenarios import prepare_spec
+
+    require_stack_workload(spec)
     workload = prepare_spec(spec)
     recorder = BoundaryRecorder(workload.stack.device)
     workload.stack.device.crash_tap = recorder

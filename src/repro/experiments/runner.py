@@ -231,6 +231,38 @@ def _expand_suffix_axes(specs):
     return expanded
 
 
+def _add_checkpoint_arguments(parser) -> None:
+    """The checkpointed-replay flags shared by crashcheck and faultcheck."""
+    from repro.crashlab import DEFAULT_CHECKPOINT_EVERY
+
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=DEFAULT_CHECKPOINT_EVERY,
+        metavar="N",
+        help=(
+            "freeze a fork checkpoint every N recorded boundaries during "
+            "the recording run and resume each replay from the nearest "
+            "preceding checkpoint instead of from scratch (default "
+            f"{DEFAULT_CHECKPOINT_EVERY}; verdicts are bit-identical either "
+            "way, only the wall-clock changes)"
+        ),
+    )
+    parser.add_argument(
+        "--no-checkpoints", action="store_true",
+        help=(
+            "replay every crash point from scratch (the pre-checkpoint "
+            "behaviour; also the automatic fallback on platforms without "
+            "os.fork)"
+        ),
+    )
+
+
+def _checkpoint_every(parser, args):
+    """Resolve the two checkpoint flags into an ``explore()`` argument."""
+    if args.checkpoint_every < 1:
+        parser.error("--checkpoint-every must be at least 1")
+    return None if args.no_checkpoints else args.checkpoint_every
+
+
 def _parse_faults(parser, raw_faults):
     """Parse repeatable ``--fault`` plan strings into a FaultSpec tuple."""
     from repro.faults import parse_fault
@@ -607,6 +639,7 @@ def crashcheck_main(argv: list[str] | None = None) -> None:
             "crash to its violation witness (default 0: off)"
         ),
     )
+    _add_checkpoint_arguments(parser)
     parser.add_argument(
         "--list", action="store_true",
         help="list the registered oracles and strategies, then exit",
@@ -670,6 +703,7 @@ def crashcheck_main(argv: list[str] | None = None) -> None:
         seed=args.seed,
         jobs=args.jobs,
         trace_tail=max(args.trace_tail, 0),
+        checkpoint_every=_checkpoint_every(parser, args),
     )
     _emit([summary_result(reports), violations_result(reports)], args.format, args.output)
 
@@ -780,6 +814,7 @@ def faultcheck_main(argv: list[str] | None = None) -> None:
             "crash to its violation witness (default 0: off)"
         ),
     )
+    _add_checkpoint_arguments(parser)
     parser.add_argument(
         "--list", action="store_true",
         help="list the fault kinds, oracles and strategies, then exit",
@@ -875,6 +910,7 @@ def faultcheck_main(argv: list[str] | None = None) -> None:
         seed=args.seed,
         jobs=args.jobs,
         trace_tail=max(args.trace_tail, 0),
+        checkpoint_every=_checkpoint_every(parser, args),
     )
     summary = summary_result(reports)
     summary.name = "faultcheck"

@@ -86,11 +86,58 @@ class TestForkEquivalence:
             assert _fingerprint(a) == _fingerprint(b) == _fingerprint(c)
             assert b.spec == a.spec
 
+    def test_fault_plan_streams_continue_across_the_fork(self):
+        # The injector is installed before the warmup (prepare_spec order),
+        # so its seeded fault-site streams are mid-flight at the snapshot
+        # point; every forked suffix must continue them exactly where a
+        # never-forked run would be — counters included.
+        specs = [
+            spec.with_(faults=("torn-write:p=0.4",))
+            for spec in _sync_loop_specs(config="BFS-DR", counts=(10, 25))
+        ]
+        scratch = [run_spec(spec) for spec in specs]
+        warm = run_specs_warm_start(specs)
+        for a, b in zip(scratch, warm):
+            assert _fingerprint(a) == _fingerprint(b)
+            assert a.result.device_stats == b.result.device_stats
+
     def test_zero_warmup_still_equivalent(self):
         specs = _sync_loop_specs(warmup=0, counts=(10, 15))
         scratch = [run_spec(spec) for spec in specs]
         warm = run_specs_warm_start(specs)
         for a, b in zip(scratch, warm):
+            assert _fingerprint(a) == _fingerprint(b)
+
+
+class TestFallback:
+    def test_fork_failure_names_the_spec_and_exit_status(self):
+        from repro.scenarios.engine import prepare_spec
+        from repro.snapshot import SnapshotForkError, _run_forked
+
+        spec = _sync_loop_specs(counts=(10,))[0]
+        workload = prepare_spec(spec)
+
+        def boom():
+            raise RuntimeError("measured phase exploded")
+
+        workload.run = boom
+        with pytest.raises(SnapshotForkError) as err:
+            _run_forked(workload, spec)
+        message = str(err.value)
+        # Which spec died, how the child exited, and why — all in one line.
+        assert spec.display_label in message
+        assert "exit" in message.lower()
+        assert "RuntimeError: measured phase exploded" in message
+
+    def test_forkless_platform_warns_and_matches_scratch(self, monkeypatch):
+        import repro.snapshot as snapshot
+
+        monkeypatch.setattr(snapshot, "fork_supported", lambda: False)
+        specs = _sync_loop_specs(counts=(10, 25))
+        with pytest.warns(RuntimeWarning, match="fell back to from-scratch"):
+            outcomes = run_specs_warm_start(specs)
+        scratch = [run_spec(spec) for spec in specs]
+        for a, b in zip(scratch, outcomes):
             assert _fingerprint(a) == _fingerprint(b)
 
 
