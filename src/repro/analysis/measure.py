@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.stack import IOStack
+from repro.fs.errors import FilesystemError
 from repro.simulation.stats import LatencyRecorder, TimeSeries
 
 
@@ -22,6 +23,10 @@ class SyncLoopResult:
     context_switches_per_call: float
     elapsed_usec: float
     calls: int
+    #: Name of the :class:`~repro.fs.errors.FilesystemError` that stopped the
+    #: loop early (EIO on a sync, read-only degradation on a write), or
+    #: ``None`` when every call completed.  Fault-free runs never stop early.
+    stopped_by: str | None = None
 
     @property
     def iops(self) -> float:
@@ -51,19 +56,27 @@ def measure_sync_latency(
     latencies = LatencyRecorder(sync_call)
     switches = {"total": 0}
     elapsed = {"usec": 0.0}
+    stopped: dict[str, str | None] = {"by": None}
 
     def loop():
         handle = fs.create(file_name, preallocate_pages=0 if allocating else 4096)
         process = sim.active_process
         start = sim.now
         for index in range(calls):
-            if not allocating:
-                fs.write(handle, pages_per_write, offset_page=index % 4000)
-            else:
-                fs.write(handle, pages_per_write)
-            call_start = sim.now
-            switches_before = process.context_switches
-            yield from _sync_generator(stack, sync_call, fs, handle, "bench")
+            # A degrading mount ends the measurement instead of killing the
+            # run: an EIO on the sync or a read-only mount on the write stops
+            # the loop with the error recorded (fault-free runs never stop).
+            try:
+                if not allocating:
+                    fs.write(handle, pages_per_write, offset_page=index % 4000)
+                else:
+                    fs.write(handle, pages_per_write)
+                call_start = sim.now
+                switches_before = process.context_switches
+                yield from _sync_generator(stack, sync_call, fs, handle, "bench")
+            except FilesystemError as error:
+                stopped["by"] = type(error).__name__
+                break
             latencies.record(sim.now - call_start)
             switches["total"] += process.context_switches - switches_before
         elapsed["usec"] = sim.now - start
@@ -75,6 +88,7 @@ def measure_sync_latency(
         context_switches_per_call=switches["total"] / calls if calls else 0.0,
         elapsed_usec=elapsed["usec"],
         calls=calls,
+        stopped_by=stopped["by"],
     )
 
 

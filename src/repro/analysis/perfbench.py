@@ -21,7 +21,13 @@ a first-class artifact.  This module measures four rates:
   path with a :class:`repro.trace.Tracer` installed but disabled, relative
   to no tracer at all.  An uninstalled tracer costs exactly nothing (the
   original methods are untouched); this pins the installed-but-idle cost.
-  Both overhead metrics report the median of interleaved sample pairs —
+* ``recovery_overhead_pct`` — same shape for the error-propagation checks
+  of :mod:`repro.recovery`: the fsync path with
+  ``fs.enable_error_propagation()`` swapped in (strict per-request error
+  checks on every sync) on a fault-free run, relative to the default
+  never-checking no-ops.  The guard is that recover-and-continue
+  machinery stays effectively free on the no-fault hot path.
+  All overhead metrics report the median of interleaved sample pairs —
   see :func:`_installed_hook_overhead_pct` for the noise discipline.
 * ``crashcheck_scratch_wall_sec`` / ``crashcheck_ckpt_wall_sec`` /
   ``crash_replay_speedup`` — wall-clock of one exhaustive crashcheck cell
@@ -189,6 +195,29 @@ def trace_overhead_pct(
     return _installed_hook_overhead_pct(install, calls, config, samples)
 
 
+def recovery_overhead_pct(
+    calls: int = 400, config: str = "BFS-DR", samples: int = 9
+) -> float:
+    """Percent full-loop events/sec cost of strict error propagation.
+
+    ``enable_error_propagation()`` method-swaps the filesystem's
+    per-request error checks from the default no-ops to the strict forms
+    that raise :class:`~repro.fs.errors.EIOError` on a failed block
+    request.  On a fault-free run the strict checks inspect every
+    completed request and find nothing, so the two sides process
+    identical event sequences apart from the checks themselves — the
+    same inert-hook shape as :func:`fault_hook_overhead_pct`.  Measured
+    by :func:`_installed_hook_overhead_pct`: median of per-pair
+    interleaved overheads (the guard is that recovery error checking
+    stays effectively free when no faults fire).
+    """
+
+    def install(stack):
+        stack.fs.enable_error_propagation()
+
+    return _installed_hook_overhead_pct(install, calls, config, samples)
+
+
 def sweep_warm_start_metrics(
     *, repeats: int = 3, quick: bool = False
 ) -> dict[str, float]:
@@ -315,6 +344,9 @@ def collect_metrics(*, repeats: int = 3, quick: bool = False) -> dict[str, float
         ),
         "trace_overhead_pct": round(
             trace_overhead_pct(calls, samples=max(9, 3 * repeats)), 2
+        ),
+        "recovery_overhead_pct": round(
+            recovery_overhead_pct(calls, samples=max(9, 3 * repeats)), 2
         ),
     }
     metrics.update(sweep_warm_start_metrics(repeats=repeats, quick=quick))

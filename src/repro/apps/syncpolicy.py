@@ -20,10 +20,15 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Callable, Optional
 
 from repro.fs.barrierfs import BarrierFS
+from repro.fs.errors import EIOError
 from repro.fs.optfs import OptFS
 from repro.fs.vfs import FilesystemBase
+
+#: What an application does when a sync call raises :class:`EIOError`.
+ERROR_POLICIES = ("abort", "retry", "reopen")
 
 
 class Guarantee(enum.Enum):
@@ -44,6 +49,24 @@ class SyncPolicy:
 
     filesystem: FilesystemBase
     relax_durability: bool = False
+    #: Error policy applied by :meth:`synced` when a sync call raises
+    #: :class:`EIOError`: ``abort`` re-raises immediately, ``retry`` repeats
+    #: the call up to ``max_sync_retries`` times, ``reopen`` additionally runs
+    #: the ``reopen`` hook (e.g. to rewrite the application's buffered data)
+    #: before each retry — the only policy that is actually safe on
+    #: filesystems with clean-after-failure semantics, where a bare retry
+    #: syncs nothing (the fsyncgate trap).
+    on_error: str = "abort"
+    max_sync_retries: int = 3
+    #: ``reopen`` hook: called with the failed file, returns the file to
+    #: retry with (after re-staging whatever data the application still has).
+    reopen: Optional[Callable] = None
+
+    def __post_init__(self) -> None:
+        if self.on_error not in ERROR_POLICIES:
+            raise ValueError(
+                f"on_error must be one of {ERROR_POLICIES}, got {self.on_error!r}"
+            )
 
     def sync(self, file, guarantee: Guarantee, *, issuer: str = "app"):
         """Return the generator for the right sync call."""
@@ -81,6 +104,29 @@ class SyncPolicy:
             return fs.osync(file, issuer=issuer)
 
         return fs.fsync(file, issuer=issuer)
+
+    def synced(self, file, guarantee: Guarantee, *, issuer: str = "app",
+               metadata: bool = False):
+        """Generator: run the sync call under the ``on_error`` policy.
+
+        Returns the number of retries it took (0 on first-try success).
+        With ``on_error="abort"`` — or once ``max_sync_retries`` is spent —
+        the :class:`EIOError` propagates to the caller.
+        """
+        fs = self.filesystem
+        call = self.metadata_sync if metadata else self.sync
+        retries = 0
+        while True:
+            try:
+                yield from call(file, guarantee, issuer=issuer)
+                return retries
+            except EIOError:
+                if self.on_error == "abort" or retries >= self.max_sync_retries:
+                    raise
+                retries += 1
+                fs.stats.sync_retries += 1
+                if self.on_error == "reopen" and self.reopen is not None:
+                    file = self.reopen(file)
 
     def describe(self) -> str:
         """Human-readable description for experiment reports."""

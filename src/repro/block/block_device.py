@@ -186,6 +186,15 @@ class BlockDevice:
         """Build and submit a cache-flush request."""
         return self.submit(BlockRequest(op=RequestOp.FLUSH, issuer=issuer))
 
+    def read(
+        self, lba: int, num_pages: int = 1, *, issuer: str = "app"
+    ) -> BlockRequest:
+        """Build and submit a read request."""
+        request = BlockRequest(
+            op=RequestOp.READ, lba=lba, num_pages=num_pages, issuer=issuer
+        )
+        return self.submit(request)
+
     def write_and_wait(
         self, lba: int, num_pages: int = 1, **kwargs: object
     ) -> Generator[Event, object, BlockRequest]:

@@ -152,7 +152,7 @@ def replay_to_point(
     return probe, boundary
 
 
-def check_point(spec, index: int, *, trace_tail: int = 0) -> PointVerdict:
+def check_point(spec, index: int, *, trace_tail: int = 0, judge=None) -> PointVerdict:
     """Replay one crash point from scratch and run every applicable oracle.
 
     Module-level and picklable-by-reference: this is the unit of work the
@@ -160,13 +160,20 @@ def check_point(spec, index: int, *, trace_tail: int = 0) -> PointVerdict:
     a point.  ``trace_tail=N`` replays the point with the cross-layer
     tracer installed and attaches the last ``N`` spans before the crash to
     the verdict — the timeline a violation report shows.
+
+    ``judge`` replaces the default verdict builder (:func:`_point_verdict`)
+    with a callable of the same signature — ``runner recoverycheck``
+    passes :func:`repro.recovery.recovery_judge` here.  A judge must be
+    module-level (or a ``functools.partial`` over picklable values) so the
+    process pool can ship it.
     """
     tracer = _make_tracer(trace_tail)
     probe, boundary = replay_to_point(spec, index, tracer=tracer)
-    return _point_verdict(probe, boundary, index, tracer, trace_tail)
+    verdict = judge if judge is not None else _point_verdict
+    return verdict(probe, boundary, index, tracer, trace_tail)
 
 
-def _deliver_replay(spec, workload, tap, boundary, tracer):
+def _deliver_replay(spec, workload, tap, boundary, tracer, judge=None):
     """Finish a checkpoint grandchild's replay: recover, verify, report.
 
     Runs only in a replay grandchild (``tap.grant`` set).  Never returns:
@@ -184,7 +191,8 @@ def _deliver_replay(spec, workload, tap, boundary, tracer):
         stack.device.power_off()
         state = recover_durable_blocks(stack.device)
         probe = CrashProbe.from_stack(state, stack, spec=spec, workload=workload)
-        verdict = _point_verdict(
+        build_verdict = judge if judge is not None else _point_verdict
+        verdict = build_verdict(
             probe, boundary, request["target"], tracer, request["trace_tail"]
         )
         payload = pickle.dumps(("ok", verdict), protocol=pickle.HIGHEST_PROTOCOL)
@@ -199,7 +207,7 @@ def _deliver_replay(spec, workload, tap, boundary, tracer):
 
 
 def record_checkpointed(
-    spec, policy: CheckpointPolicy, *, trace_tail: int = 0
+    spec, policy: CheckpointPolicy, *, trace_tail: int = 0, judge=None
 ) -> tuple[list[CrashBoundary], CheckpointStore]:
     """Record ``spec``'s boundaries while freezing periodic checkpoints.
 
@@ -227,8 +235,9 @@ def record_checkpointed(
         workload.run()
     except CrashPointReached as crash:
         # Only replay grandchildren get here: the tap raises solely in
-        # trigger mode.  Exits the process.
-        _deliver_replay(spec, workload, tap, crash.boundary, tracer)
+        # trigger mode.  Exits the process.  The judge travels into the
+        # grandchild by fork inheritance of this frame — no pickling.
+        _deliver_replay(spec, workload, tap, crash.boundary, tracer, judge)
     except BaseException as exc:
         if tap.grant is not None:
             # A grandchild's delta replay failed: report the failure up the
@@ -244,23 +253,26 @@ def record_checkpointed(
     if tap.grant is not None:
         # Grandchild whose target lies beyond the last boundary: the run
         # completed without crashing — the scratch path's end-of-run case.
-        _deliver_replay(spec, workload, tap, None, tracer)
+        _deliver_replay(spec, workload, tap, None, tracer, judge)
     workload.stack.device.crash_tap = None
     return tap.boundaries, store
 
 
 def _check_point_from_store(
-    store: CheckpointStore, spec, index: int, *, trace_tail: int = 0
+    store: CheckpointStore, spec, index: int, *, trace_tail: int = 0, judge=None
 ) -> PointVerdict:
     """Evaluate one crash point, resuming from the nearest checkpoint.
 
     Falls back to :func:`check_point` when no checkpoint precedes the
     point (possible after LRU eviction) or when a checkpoint child died —
-    the scratch replay is always available and bit-identical.
+    the scratch replay is always available and bit-identical.  The judge
+    is not shipped through the request pipe: the grandchildren inherited
+    it when the recording run forked them, so only the fallback paths
+    need it passed explicitly.
     """
     checkpoint = store.nearest(index)
     if checkpoint is None:
-        return check_point(spec, index, trace_tail=trace_tail)
+        return check_point(spec, index, trace_tail=trace_tail, judge=judge)
     request = pickle.dumps(
         {"target": index, "trace_tail": trace_tail},
         protocol=pickle.HIGHEST_PROTOCOL,
@@ -275,7 +287,7 @@ def _check_point_from_store(
             "from-scratch replay",
             RuntimeWarning,
         )
-        return check_point(spec, index, trace_tail=trace_tail)
+        return check_point(spec, index, trace_tail=trace_tail, judge=judge)
     kind, value = pickle.loads(payload)
     if kind != "ok":
         raise SnapshotForkError(
@@ -293,6 +305,7 @@ def _check_points(
     jobs: int,
     trace_tail: int = 0,
     store: Optional[CheckpointStore] = None,
+    judge=None,
 ) -> list[PointVerdict]:
     """Evaluate crash points, fanning out if asked.
 
@@ -304,7 +317,9 @@ def _check_points(
     if store is not None:
         if jobs <= 1 or len(indices) <= 1:
             return [
-                _check_point_from_store(store, spec, index, trace_tail=trace_tail)
+                _check_point_from_store(
+                    store, spec, index, trace_tail=trace_tail, judge=judge
+                )
                 for index in indices
             ]
         # The delta replays are processes already (checkpoint
@@ -316,18 +331,21 @@ def _check_points(
             return list(
                 pool.map(
                     lambda index: _check_point_from_store(
-                        store, spec, index, trace_tail=trace_tail
+                        store, spec, index, trace_tail=trace_tail, judge=judge
                     ),
                     indices,
                 )
             )
     if jobs <= 1 or len(indices) <= 1:
-        return [check_point(spec, index, trace_tail=trace_tail) for index in indices]
+        return [
+            check_point(spec, index, trace_tail=trace_tail, judge=judge)
+            for index in indices
+        ]
 
     from concurrent.futures import ProcessPoolExecutor
     from functools import partial
 
-    worker = partial(check_point, trace_tail=trace_tail)
+    worker = partial(check_point, trace_tail=trace_tail, judge=judge)
     workers = min(jobs, len(indices))
     chunksize = max(1, len(indices) // (workers * 4))
     with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -343,6 +361,7 @@ def _bisect(
     points: Optional[int] = None,
     trace_tail: int = 0,
     store: Optional[CheckpointStore] = None,
+    judge=None,
 ) -> list[PointVerdict]:
     """Narrow to the earliest failing boundary: scout, then binary-refine.
 
@@ -364,10 +383,12 @@ def _bisect(
         if index not in evaluated:
             if store is not None:
                 evaluated[index] = _check_point_from_store(
-                    store, spec, index, trace_tail=trace_tail
+                    store, spec, index, trace_tail=trace_tail, judge=judge
                 )
             else:
-                evaluated[index] = check_point(spec, index, trace_tail=trace_tail)
+                evaluated[index] = check_point(
+                    spec, index, trace_tail=trace_tail, judge=judge
+                )
         return bool(evaluated[index].violations)
 
     if total == 0:
@@ -421,6 +442,7 @@ def explore(
     checkpoint_every: Optional[int] = DEFAULT_CHECKPOINT_EVERY,
     checkpoint_budget: int = DEFAULT_CHECKPOINT_BUDGET,
     checkpoint_interval: float = 0.0,
+    judge=None,
 ) -> CellReport:
     """Explore one scenario cell and return its :class:`CellReport`.
 
@@ -433,6 +455,10 @@ def explore(
     every replay from the nearest preceding checkpoint; ``None`` — or any
     platform without fork/fd-passing — replays every point from scratch.
     The report is bit-identical either way; only the wall-clock changes.
+
+    ``judge`` replaces the per-point verdict builder (see
+    :func:`check_point`); ``None`` keeps the registered-oracle default, so
+    existing ``crashcheck``/``faultcheck`` tables are untouched.
     """
     if points is not None and points < 1:
         raise ValueError(f"the crash-point budget must be at least 1, got {points}")
@@ -443,7 +469,9 @@ def explore(
             interval=checkpoint_interval,
             budget=checkpoint_budget,
         )
-        boundaries, store = record_checkpointed(spec, policy, trace_tail=trace_tail)
+        boundaries, store = record_checkpointed(
+            spec, policy, trace_tail=trace_tail, judge=judge
+        )
     else:
         boundaries = record_boundaries(spec)
     try:
@@ -454,11 +482,17 @@ def explore(
                 points=points,
                 trace_tail=trace_tail,
                 store=store,
+                judge=judge,
             )
         else:
             indices = select_points(strategy, boundaries, points=points, seed=seed)
             verdicts = _check_points(
-                spec, indices, jobs=jobs, trace_tail=trace_tail, store=store
+                spec,
+                indices,
+                jobs=jobs,
+                trace_tail=trace_tail,
+                store=store,
+                judge=judge,
             )
     finally:
         if store is not None:
@@ -482,6 +516,7 @@ def explore_cells(
     trace_tail: int = 0,
     checkpoint_every: Optional[int] = DEFAULT_CHECKPOINT_EVERY,
     checkpoint_budget: int = DEFAULT_CHECKPOINT_BUDGET,
+    judge=None,
 ) -> list[CellReport]:
     """Explore several cells (the ``runner crashcheck`` matrix), in order.
 
@@ -498,6 +533,7 @@ def explore_cells(
             trace_tail=trace_tail,
             checkpoint_every=checkpoint_every,
             checkpoint_budget=checkpoint_budget,
+            judge=judge,
         )
         for spec in specs
     ]

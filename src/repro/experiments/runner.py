@@ -922,6 +922,315 @@ def faultcheck_main(argv: list[str] | None = None) -> None:
     _emit([summary, violations], args.format, args.output)
 
 
+#: ``recoverycheck`` config aliases: the paper-facing names for the barrier
+#: stack, accepted alongside the registered configuration names.
+_RECOVERY_CONFIG_ALIASES = {
+    "barrier-dr": "BFS-DR",
+    "barrier-od": "BFS-OD",
+}
+
+
+def recoverycheck_main(argv: list[str] | None = None) -> None:
+    """``runner recoverycheck``: crash, remount, continue, judge the round trip."""
+    import argparse
+    from functools import partial
+
+    from repro.core.verification import ORACLES
+    from repro.crashlab import STRATEGIES, explore_cells, summary_result, violations_result
+    from repro.faults import FAULT_KINDS
+    from repro.recovery import (
+        ACKED_PREFIX_ORACLE,
+        CONTINUATION_ORACLE,
+        ContinuationPlan,
+        recovery_judge,
+    )
+    from repro.apps.syncpolicy import ERROR_POLICIES
+    from repro.scenarios import STACK_CONFIGS, WORKLOADS, sweep
+    from repro.scenarios.stacks import stack_config
+    from repro.storage.barrier_modes import BarrierMode
+
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner recoverycheck",
+        description=(
+            "Recover-and-continue verification: crash-explore every cell at "
+            "recorded IO boundaries and, at each point, remount a fresh "
+            "stack on what journal recovery reconstructs, run a "
+            "deterministic append+sync continuation through a SyncPolicy, "
+            "cut power again right after its last acknowledgement and judge "
+            "both crashes with the recovered-acked-prefix and "
+            "recovered-continuation-durability oracles on top of the "
+            "registered ones.  Flags mirror ``runner faultcheck`` with "
+            "--fault optional; see docs/RECOVERY.md."
+        ),
+    )
+    parser.add_argument(
+        "-w", "--workload", action="append", metavar="NAME",
+        help=f"workload axis (repeatable); filesystem workloads of {WORKLOADS.names()}",
+    )
+    parser.add_argument(
+        "-c", "--config", action="append", metavar="NAME",
+        help=(
+            "stack-configuration axis (repeatable, default EXT4-DR); one of "
+            f"{STACK_CONFIGS.names()} (case-insensitive; barrier-dr/barrier-od "
+            "alias BFS-DR/BFS-OD) or a barrier-mode name "
+            f"{[mode.value for mode in BarrierMode]} (expands to the mode on "
+            "BFS-DR plus the EXT4-OD legacy contrast cell)"
+        ),
+    )
+    parser.add_argument(
+        "-d", "--device", action="append", metavar="NAME",
+        help="device axis (repeatable, default plain-ssd)",
+    )
+    parser.add_argument(
+        "--scheduler", action="append", metavar="NAME",
+        help="block-scheduler axis (repeatable); default: the config's choice",
+    )
+    parser.add_argument(
+        "--barrier-mode", action="append", metavar="MODE",
+        help=(
+            "storage barrier-mode axis (repeatable; underscores and hyphens "
+            f"both accepted); one of {[mode.value for mode in BarrierMode]}; "
+            "default: the device's choice.  A BarrierFS config cannot build "
+            "with mode none (the order-preserving block layer needs a "
+            "barrier-capable device), so that pairing runs the EXT4-OD "
+            "legacy contrast cell instead"
+        ),
+    )
+    parser.add_argument(
+        "--fault", action="append", default=[], metavar="PLAN",
+        help=(
+            "optional fault plan applied to the storage device — and "
+            "reinstalled on the remounted stack — as KIND[:key=value,...] "
+            "(repeatable; e.g. io-error:nth=3, flush-lie); see docs/FAULTS.md"
+        ),
+    )
+    parser.add_argument(
+        "--continuation-calls", type=int, default=16, metavar="N",
+        help="append+sync iterations the continuation runs (default 16)",
+    )
+    parser.add_argument(
+        "--continuation-pages", type=int, default=1, metavar="N",
+        help="pages appended per continuation iteration (default 1)",
+    )
+    parser.add_argument(
+        "--on-error", choices=ERROR_POLICIES, default="retry",
+        help=(
+            "continuation SyncPolicy when a sync raises EIOError: abort at "
+            "the first, retry up to --max-sync-retries, or reopen-and-retry "
+            "(default retry)"
+        ),
+    )
+    parser.add_argument(
+        "--max-sync-retries", type=int, default=3, metavar="N",
+        help="continuation sync retries before the error stops it (default 3)",
+    )
+    parser.add_argument(
+        "--strategy", choices=STRATEGIES, default="exhaustive",
+        help=(
+            "crash-point selection: every recorded boundary (exhaustive), a "
+            "seeded per-kind sample (stratified), or a binary search to the "
+            "earliest failing boundary (bisect); default exhaustive"
+        ),
+    )
+    parser.add_argument(
+        "--points", type=int, metavar="N",
+        help=(
+            "crash-point budget per cell: evenly thins an exhaustive "
+            "enumeration, sets the stratified sample size (default 32); for "
+            "bisect it caps the probe density of each scout wave"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help=(
+            "seed for the scenario, the fault streams and the stratified "
+            "sampler (default 0)"
+        ),
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.25,
+        help=(
+            "iteration-count multiplier; recovery exploration replays the "
+            "workload once per point, so the default is a reduced 0.25"
+        ),
+    )
+    parser.add_argument(
+        "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="workload parameter, literal-evaluated (repeatable)",
+    )
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help=(
+            "worker processes; crash points are sharded individually "
+            "(default 1; bisect probes are adaptive and always run serially)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-tail", type=int, default=0, metavar="N",
+        help=(
+            "trace every replay and attach the last N spans before each "
+            "crash to its violation witness (default 0: off)"
+        ),
+    )
+    _add_checkpoint_arguments(parser)
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list the oracles (registered + recovery), fault kinds and strategies",
+    )
+    _add_output_arguments(parser)
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print(f"strategies:  {', '.join(STRATEGIES)}")
+        print(f"fault kinds: {', '.join(FAULT_KINDS)}")
+        print("oracles:")
+        for oracle in ORACLES.values():
+            print(f"  {oracle.name:36s} {oracle.description}")
+        print(
+            f"  {ACKED_PREFIX_ORACLE:36s} "
+            "pages acknowledged before the crash survived it"
+        )
+        print(
+            f"  {CONTINUATION_ORACLE:36s} "
+            "pages the post-remount continuation acknowledged survived its crash"
+        )
+        return
+    if not args.workload:
+        parser.error("at least one --workload is required (or use --list)")
+    if args.points is not None and args.points < 1:
+        parser.error("--points must be at least 1")
+    if args.continuation_calls < 1:
+        parser.error("--continuation-calls must be at least 1")
+    if args.continuation_pages < 1:
+        parser.error("--continuation-pages must be at least 1")
+    if args.max_sync_retries < 0:
+        parser.error("--max-sync-retries must be at least 0")
+    faults = _parse_faults(parser, args.fault)
+
+    modes: list[str | None] = [None]
+    if args.barrier_mode:
+        modes = []
+        for mode in args.barrier_mode:
+            normalized = mode.replace("_", "-")
+            try:
+                modes.append(BarrierMode(normalized).value)
+            except ValueError:
+                parser.error(
+                    f"unknown barrier mode {mode!r}; choose from "
+                    f"{[m.value for m in BarrierMode]}"
+                )
+
+    for name in set(args.workload):
+        try:
+            workload_class = WORKLOADS.get(name)
+        except KeyError as error:
+            parser.error(str(error.args[0]))
+        if not workload_class.needs_stack:
+            parser.error(
+                f"workload {name!r} runs against the raw block device; "
+                "recoverycheck needs a filesystem stack to crash and remount"
+            )
+    params, accepted_by = _route_params(parser, args.workload, args.param)
+
+    # Config resolution: registered names (case-insensitive), the
+    # barrier-dr/barrier-od aliases, or — like faultcheck — a barrier-mode
+    # name as sugar for the contrast pair.  The legacy half of the pair is
+    # EXT4-OD here (not faultcheck's EXT4-DR): recoverycheck's oracles are
+    # about durability promises, and EXT4-OD is the stack that acknowledges
+    # at transfer time without a flush — the fsyncgate cell.
+    known_configs = set(STACK_CONFIGS.names())
+    by_lower = {name.lower(): name for name in known_configs}
+    mode_values = {mode.value for mode in BarrierMode}
+    cells: list[tuple[str, list[str | None]]] = []
+    for name in args.config or ["EXT4-DR"]:
+        normalized = name.replace("_", "-")
+        resolved = by_lower.get(name.lower()) or by_lower.get(
+            _RECOVERY_CONFIG_ALIASES.get(name.lower(), "").lower()
+        )
+        if resolved is None and normalized in mode_values:
+            if args.barrier_mode:
+                parser.error(
+                    f"--config {name!r} names a barrier mode and already "
+                    "implies the barrier-mode axis; drop --barrier-mode"
+                )
+            aliased = BarrierMode(normalized)
+            if aliased is not BarrierMode.NONE:
+                cells.append(("BFS-DR", [aliased.value]))
+            cells.append(("EXT4-OD", [BarrierMode.NONE.value]))
+            continue
+        if resolved is None:
+            parser.error(
+                f"unknown config {name!r}; choose from {STACK_CONFIGS.names()} "
+                f"(or aliases {sorted(_RECOVERY_CONFIG_ALIASES)}, or a "
+                f"barrier-mode name of {sorted(mode_values)})"
+            )
+        cells.append((resolved, modes))
+
+    expanded = []
+    for config, config_modes in cells:
+        devices = args.device or ["plain-ssd"]
+        barrier_stack = stack_config(config, devices[0]).filesystem == "barrierfs"
+        kept: list[str | None] = []
+        for mode in config_modes:
+            if barrier_stack and mode == BarrierMode.NONE.value:
+                # BFS-* × none cannot build (BlockDevice refuses an
+                # order-preserving layer on a device whose mode supports no
+                # barrier); substitute the EXT4-OD legacy contrast cell.
+                expanded.extend(
+                    sweep(
+                        workloads=args.workload,
+                        configs=["EXT4-OD"],
+                        devices=devices,
+                        schedulers=args.scheduler or [None],
+                        barrier_modes=[mode],
+                        seeds=[args.seed],
+                        scale=args.scale,
+                        faults=faults,
+                    )
+                )
+            else:
+                kept.append(mode)
+        if kept:
+            expanded.extend(
+                sweep(
+                    workloads=args.workload,
+                    configs=[config],
+                    devices=devices,
+                    schedulers=args.scheduler or [None],
+                    barrier_modes=kept,
+                    seeds=[args.seed],
+                    scale=args.scale,
+                    faults=faults,
+                )
+            )
+    specs = _finalize_specs(expanded, params, accepted_by)
+
+    plan = ContinuationPlan(
+        calls=args.continuation_calls,
+        pages_per_write=args.continuation_pages,
+        on_error=args.on_error,
+        max_sync_retries=args.max_sync_retries,
+    )
+    reports = explore_cells(
+        specs,
+        strategy=args.strategy,
+        points=args.points,
+        seed=args.seed,
+        jobs=args.jobs,
+        trace_tail=max(args.trace_tail, 0),
+        checkpoint_every=_checkpoint_every(parser, args),
+        judge=partial(recovery_judge, plan=plan),
+    )
+    summary = summary_result(reports)
+    summary.name = "recoverycheck"
+    summary.description = (
+        "crash-point exploration with remount-and-continue verification"
+    )
+    violations = violations_result(reports)
+    violations.name = "recoverycheck-violations"
+    _emit([summary, violations], args.format, args.output)
+
+
 def main(argv: list[str] | None = None) -> None:
     """Command-line entry point: ``python -m repro.experiments.runner``."""
     import argparse
@@ -940,6 +1249,9 @@ def main(argv: list[str] | None = None) -> None:
     if arguments and arguments[0] == "faultcheck":
         faultcheck_main(arguments[1:])
         return
+    if arguments and arguments[0] == "recoverycheck":
+        recoverycheck_main(arguments[1:])
+        return
 
     parser = argparse.ArgumentParser(
         prog="repro.experiments.runner",
@@ -947,7 +1259,9 @@ def main(argv: list[str] | None = None) -> None:
             "Regenerate the paper's tables and figures (or run `... runner "
             "sweep --help` for ad-hoc matrices, `... runner crashcheck "
             "--help` for crash-recovery checking, `... runner faultcheck "
-            "--help` for crash checking under injected storage faults)."
+            "--help` for crash checking under injected storage faults, "
+            "`... runner recoverycheck --help` for remount-and-continue "
+            "verification)."
         ),
     )
     parser.add_argument(

@@ -26,6 +26,7 @@ from typing import Optional
 
 from repro.block.block_device import BlockDevice
 from repro.block.request import RequestFlag
+from repro.fs.errors import EIOError
 from repro.fs.inode import File
 from repro.fs.journal.dual_mode import DualModeJournal
 from repro.fs.mount import JournalMode, MountOptions
@@ -56,12 +57,34 @@ class BarrierFS(FilesystemBase):
     def fsync(self, file: File, *, issuer: str = "app"):
         """Generator: durability + ordering, one caller wake-up."""
         self.stats.fsync += 1
-        yield from self._sync(file, issuer=issuer, metadata_matters=True)
+        yield from self._sync_counted(file, issuer=issuer, metadata_matters=True)
 
     def fdatasync(self, file: File, *, issuer: str = "app"):
         """Generator: data durability; journals only for fresh allocations."""
         self.stats.fdatasync += 1
-        yield from self._sync(file, issuer=issuer, metadata_matters=False)
+        yield from self._sync_counted(file, issuer=issuer, metadata_matters=False)
+
+    def _sync_counted(self, file: File, *, issuer: str, metadata_matters: bool):
+        # BarrierFS post-failure semantics: unlike EXT4's fsyncgate behaviour
+        # the pages are *kept dirty* across a failed sync — the snapshot taken
+        # here is restored on EIOError so a retrying caller re-dispatches the
+        # same data instead of silently syncing nothing.
+        inode = file.inode
+        dirty_snapshot = dict(inode.dirty_pages)
+        unallocated_snapshot = set(inode.unallocated_pages)
+        metadata_was_dirty = inode.metadata_dirty
+        try:
+            yield from self._sync(file, issuer=issuer, metadata_matters=metadata_matters)
+        except EIOError:
+            self.stats.eio_errors += 1
+            for page_index, version in dirty_snapshot.items():
+                if inode.dirty_pages.get(page_index, -1) < version:
+                    inode.dirty_pages[page_index] = version
+            inode.unallocated_pages |= unallocated_snapshot
+            if metadata_was_dirty:
+                inode.metadata_dirty = True
+            raise
+        self.acknowledge_durable(inode)
 
     def _sync(self, file: File, *, issuer: str, metadata_matters: bool):
         inode = file.inode
@@ -73,12 +96,16 @@ class BarrierFS(FilesystemBase):
             txn = self.journal.request_commit(durability=True, force=True)
             # Single wake-up: the flush thread signals full durability.
             yield txn.durable_event
+            # The flush that made the commit durable also covers the data
+            # writes dispatched above; surface any that failed on the way.
+            self._check_requests(writeback.requests)
             return
 
         # fdatasync() path: wait for the data DMA, then flush the cache.
         writeback = self._dispatch_data(file, issuer, barrier_on_last=True)
         for event in writeback.transfer_events:
             yield event
+        self._check_requests(writeback.requests)
         if not writeback.requests:
             # Nothing dirty: still delimit an epoch (paper, Section 4.2).
             self.journal.request_commit(durability=False, force=True)
@@ -88,6 +115,13 @@ class BarrierFS(FilesystemBase):
     def fbarrier(self, file: File, *, issuer: str = "app"):
         """Generator: ordering-only fsync (returns at dispatch time)."""
         self.stats.fbarrier += 1
+        try:
+            yield from self._fbarrier(file, issuer=issuer)
+        except EIOError:
+            self.stats.eio_errors += 1
+            raise
+
+    def _fbarrier(self, file: File, *, issuer: str):
         inode = file.inode
         needs_journal = inode.has_dirty_metadata
         yield from self.throttle_writeback()
@@ -101,7 +135,7 @@ class BarrierFS(FilesystemBase):
 
         # Most fbarrier() calls find clean metadata and degenerate into
         # fdatabarrier(), which does not block at all (Section 6.3).
-        yield from self.fdatabarrier(file, issuer=issuer, _count=False)
+        yield from self._fdatabarrier(file, issuer=issuer)
 
     def fdatabarrier(self, file: File, *, issuer: str = "app", _count: bool = True):
         """Generator: storage-order barrier with no waiting whatsoever.
@@ -113,6 +147,13 @@ class BarrierFS(FilesystemBase):
         """
         if _count:
             self.stats.fdatabarrier += 1
+        try:
+            yield from self._fdatabarrier(file, issuer=issuer)
+        except EIOError:
+            self.stats.eio_errors += 1
+            raise
+
+    def _fdatabarrier(self, file: File, *, issuer: str):
         yield from self.throttle_writeback()
         writeback = self._dispatch_data(file, issuer, barrier_on_last=True)
         if not writeback.requests:

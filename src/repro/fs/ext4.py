@@ -15,6 +15,7 @@ from typing import Optional
 
 from repro.block.block_device import BlockDevice
 from repro.block.request import RequestFlag
+from repro.fs.errors import EIOError
 from repro.fs.inode import File
 from repro.fs.journal.jbd2 import JBD2Journal
 from repro.fs.mount import JournalMode, MountOptions
@@ -42,13 +43,27 @@ class Ext4Filesystem(FilesystemBase):
     def fsync(self, file: File, *, issuer: str = "app"):
         """Generator: durability (and ordering) of data + metadata of ``file``."""
         self.stats.fsync += 1
-        yield from self._sync(file, issuer=issuer, metadata_matters=True)
+        yield from self._sync_counted(file, issuer=issuer, metadata_matters=True)
 
     def fdatasync(self, file: File, *, issuer: str = "app"):
         """Generator: durability of the file's data (metadata only if it
         is needed to reach the data, i.e. block allocation)."""
         self.stats.fdatasync += 1
-        yield from self._sync(file, issuer=issuer, metadata_matters=False)
+        yield from self._sync_counted(file, issuer=issuer, metadata_matters=False)
+
+    def _sync_counted(self, file: File, *, issuer: str, metadata_matters: bool):
+        # EXT4 post-failure semantics are the fsyncgate ones: the dirty pages
+        # were claimed clean when the writeback was submitted, so a failed
+        # fsync leaves the file *clean* — retrying the call syncs nothing.
+        try:
+            yield from self._sync(file, issuer=issuer, metadata_matters=metadata_matters)
+        except EIOError:
+            self.stats.eio_errors += 1
+            raise
+        # Successful return: POSIX promised the caller everything written so
+        # far is durable (EXT4-OD makes that promise without the flush —
+        # which is exactly what the recovered-acked-prefix oracle witnesses).
+        self.acknowledge_durable(file.inode)
 
     def _sync(self, file: File, *, issuer: str, metadata_matters: bool):
         inode = file.inode
@@ -69,6 +84,7 @@ class Ext4Filesystem(FilesystemBase):
             writeback = self.writeback_data(file, issuer=issuer)
             for event in writeback.transfer_events:
                 yield event
+            self._check_requests(writeback.requests)
 
         if not needs_journal:
             # fdatasync()-like path: data transferred; make it durable.

@@ -36,6 +36,16 @@ class Inode:
     last_timestamp_tick: int = -1
     #: Pages appended but not yet covered by a committed allocation.
     unallocated_pages: set[int] = field(default_factory=set)
+    #: File size, in pages, at each metadata buffer version.  Journal
+    #: recovery resolves the metadata version it recovered back to the size
+    #: the on-disk inode would carry (``repro.recovery`` reads this the way
+    #: a real remount reads the inode block the journal replayed).
+    metadata_history: dict[int, int] = field(default_factory=dict)
+    #: High-water size (pages) acknowledged by a durability-claiming sync
+    #: (``fsync``/``fdatasync``/``dsync``).  This is the application's view
+    #: of what the kernel *promised* survived — the recovered-acked-prefix
+    #: oracle compares it against what actually did.
+    synced_size_pages: int = 0
 
     def lba_of(self, page_index: int) -> int:
         """Device LBA of one page of this file."""
@@ -133,6 +143,7 @@ def make_inode(inode_no: int, name: str, max_file_pages: int,
         extent_base_lba=inode_no * max_file_pages,
         size_pages=preallocated_pages,
     )
+    inode.metadata_history[0] = preallocated_pages
     return inode
 
 

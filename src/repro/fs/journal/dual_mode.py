@@ -25,6 +25,7 @@ import itertools
 from typing import Optional
 
 from repro.block.request import RequestFlag
+from repro.fs.errors import EIOError, FilesystemPanicError
 from repro.fs.journal.transaction import JournalTransaction, TransactionState
 from repro.simulation.resources import Condition, Store
 
@@ -49,6 +50,8 @@ class DualModeJournal:
         self.commits_durable = 0
         self.page_conflicts = 0
         self.max_committing_in_flight = 0
+        #: Whether a durable commit failure aborted the journal.
+        self.aborted = False
         self.history: list[JournalTransaction] = []
         sim.process(self._commit_thread(), name="bfs.commit-thread", daemon=True)
         sim.process(self._flush_thread(), name="bfs.flush-thread", daemon=True)
@@ -66,6 +69,8 @@ class DualModeJournal:
         transaction goes to the conflict-page list and joins the running
         transaction when the flush thread releases it.
         """
+        if self.aborted:
+            raise EIOError("journal aborted")
         if self._buffer_held_by_committing(name):
             self.page_conflicts += 1
             pending = self.conflict_pages.get(name, 0)
@@ -92,6 +97,8 @@ class DualModeJournal:
         self, *, durability: bool, force: bool = False
     ) -> Optional[JournalTransaction]:
         """Ask the commit thread to commit the running transaction."""
+        if self.aborted:
+            raise EIOError("journal aborted")
         txn = self.running
         if txn.is_empty and not self.conflict_pages and not force:
             return None
@@ -102,14 +109,18 @@ class DualModeJournal:
 
     def _commit_thread(self):
         while True:
+            if self.aborted:
+                return
             txn = self.running
             if not getattr(txn, "commit_requested", False):
                 yield self._commit_requested.wait()
                 continue
             # The running transaction may only commit once every conflict
             # page has been handed back (Section 4.3).
-            while self.conflict_pages:
+            while self.conflict_pages and not self.aborted:
                 yield self._conflicts_resolved.wait()
+            if self.aborted:
+                return
             self.running = self._new_transaction()
             txn.mark_committing(self.sim.now)
             self.committing_list.append(txn)
@@ -120,7 +131,7 @@ class DualModeJournal:
             block = self.fs.block
             descriptor = txn.descriptor_payload()
             jd_lba = self.fs.allocate_journal_lba(len(descriptor))
-            block.write(
+            jd_request = block.write(
                 jd_lba, len(descriptor), payload=descriptor,
                 flags=RequestFlag.ORDERED | RequestFlag.BARRIER,
                 issuer="commit-thread",
@@ -135,21 +146,66 @@ class DualModeJournal:
             txn.mark_dispatched(self.sim.now)
             self.commits_dispatched += 1
             self.fs.stats.journal_commits += 1
-            self._flush_queue.put((txn, jc_request))
+            self._flush_queue.put((txn, jd_request, jc_request))
 
     def _flush_thread(self):
         while True:
-            txn, jc_request = yield self._flush_queue.get()
+            txn, jd_request, jc_request = yield self._flush_queue.get()
             # The flush thread is triggered when JC has been transferred.
             yield jc_request.transferred
-            if txn.durability_requested:
-                yield from self.fs.issue_flush(issuer="flush-thread")
+            error = self.fs._request_error(jd_request) or self.fs._request_error(
+                jc_request
+            )
+            if error is None and txn.durability_requested:
+                try:
+                    yield from self.fs.issue_flush(issuer="flush-thread")
+                except EIOError as failure:
+                    error = failure.detail
+            if error is not None:
+                if self._commit_failed(txn, error):
+                    return
+                continue
             txn.mark_durable(self.sim.now)
             self.commits_durable += 1
             self.history.append(txn)
             if txn in self.committing_list:
                 self.committing_list.remove(txn)
             self._resolve_conflicts()
+
+    def _commit_failed(self, txn: JournalTransaction, error: str) -> bool:
+        """Handle a durably failed commit; returns True when the journal died.
+
+        The failed transaction's waiters receive :class:`EIOError` through
+        its completion events (no waiter deadlocks); the mount's ``errors=``
+        behaviour then decides whether the journal keeps going.
+        """
+        txn.mark_failed(self.sim.now, error)
+        self.history.append(txn)
+        if txn in self.committing_list:
+            self.committing_list.remove(txn)
+        behavior = self.fs.journal_failed(error)
+        if behavior == "continue":
+            self._resolve_conflicts()
+            return False
+        self._abort_journal()
+        if behavior == "panic":
+            raise FilesystemPanicError(
+                f"journal commit of txn {txn.txid} failed: {error}"
+            )
+        return True
+
+    def _abort_journal(self) -> None:
+        """Stop both threads: fail every non-durable transaction and waiter."""
+        self.aborted = True
+        if self.running.state is TransactionState.RUNNING:
+            self.running.mark_failed(self.sim.now, "journal-aborted")
+        for txn in list(self.committing_list):
+            if txn.state is TransactionState.COMMITTING:
+                txn.mark_failed(self.sim.now, "journal-aborted")
+        self.committing_list.clear()
+        self.conflict_pages.clear()
+        self._conflicts_resolved.notify_all()
+        self._commit_requested.notify_all()
 
     def _resolve_conflicts(self) -> None:
         """Move conflict pages whose holders are all durable into the running

@@ -22,6 +22,7 @@ import itertools
 from typing import Optional
 
 from repro.block.request import RequestFlag
+from repro.fs.errors import EIOError, FilesystemPanicError
 from repro.fs.journal.transaction import JournalTransaction, TransactionState
 from repro.simulation.resources import Condition
 
@@ -42,6 +43,9 @@ class JBD2Journal:
         self._commit_finished = Condition(sim, name="jbd2.done")
         self.commits_done = 0
         self.page_conflicts = 0
+        #: Whether a durable commit failure aborted the journal (the ext4
+        #: ``errors=remount-ro`` half of the degradation story).
+        self.aborted = False
         self.history: list[JournalTransaction] = []
         sim.process(self._jbd_thread(), name="jbd2", daemon=True)
 
@@ -58,12 +62,15 @@ class JBD2Journal:
         EXT4 page-conflict rule).
         """
         while (
-            self.committing is not None
+            not self.aborted
+            and self.committing is not None
             and self.committing.state is not TransactionState.DURABLE
             and self.committing.holds_buffer(name)
         ):
             self.page_conflicts += 1
             yield self._commit_finished.wait()
+        if self.aborted:
+            raise EIOError("journal aborted")
         self.running.add_metadata(name, version)
 
     def add_ordered_data(self, name: tuple, version: int) -> None:
@@ -83,6 +90,8 @@ class JBD2Journal:
         Returns the transaction to wait on, or ``None`` when there is nothing
         to commit (and ``force`` is not set).
         """
+        if self.aborted:
+            raise EIOError("journal aborted")
         txn = self.running
         if txn.is_empty and not force:
             return None
@@ -102,9 +111,30 @@ class JBD2Journal:
             self.committing = txn
             yield from self._commit(txn)
             self.committing = None
+            if txn.state is TransactionState.ABORTED:
+                self.history.append(txn)
+                self._commit_finished.notify_all()
+                behavior = self.fs.journal_failed(txn.error or "journal-io-error")
+                if behavior == "continue":
+                    continue
+                self._abort_journal()
+                if behavior == "panic":
+                    raise FilesystemPanicError(
+                        f"journal commit of txn {txn.txid} failed: {txn.error}"
+                    )
+                return
             self.commits_done += 1
             self.history.append(txn)
             self._commit_finished.notify_all()
+
+    def _abort_journal(self) -> None:
+        """Stop committing: fail the running transaction so no waiter hangs."""
+        self.aborted = True
+        running = self.running
+        if running is not None and running.state is TransactionState.RUNNING:
+            running.mark_failed(self.sim.now, "journal-aborted")
+        self._commit_finished.notify_all()
+        self._commit_requested.notify_all()
 
     def _commit(self, txn: JournalTransaction):
         block = self.fs.block
@@ -115,6 +145,10 @@ class JBD2Journal:
         )
         # Wait-on-Transfer between JD and JC.
         yield jd_request.transferred
+        error = self.fs._request_error(jd_request)
+        if error is not None:
+            txn.mark_failed(self.sim.now, error)
+            return
 
         commit_payload = txn.commit_payload()
         jc_lba = self.fs.allocate_journal_lba(len(commit_payload))
@@ -129,6 +163,10 @@ class JBD2Journal:
         else:
             # nobarrier: the thread only waits for the DMA transfer.
             yield jc_request.transferred
+        error = self.fs._request_error(jc_request)
+        if error is not None:
+            txn.mark_failed(self.sim.now, error)
+            return
         txn.mark_dispatched(self.sim.now)
         txn.mark_durable(self.sim.now)
         self.fs.stats.journal_commits += 1

@@ -24,6 +24,9 @@ class TransactionState(enum.Enum):
     RUNNING = "running"
     COMMITTING = "committing"
     DURABLE = "durable"
+    #: The commit failed durably (a journal write completed with an error);
+    #: waiters receive :class:`repro.fs.errors.EIOError`.
+    ABORTED = "aborted"
 
 
 @dataclass
@@ -47,6 +50,8 @@ class JournalTransaction:
     commit_requested_at: Optional[float] = None
     dispatch_done_at: Optional[float] = None
     durable_at: Optional[float] = None
+    #: Error status of an aborted commit (``None`` unless ABORTED).
+    error: Optional[str] = None
 
     def attach(self, sim: Simulator) -> "JournalTransaction":
         """Create the completion events."""
@@ -126,3 +131,22 @@ class JournalTransaction:
             self.dispatched_event.succeed(self)
         if self.durable_event is not None and not self.durable_event.triggered:
             self.durable_event.succeed(self)
+
+    def mark_failed(self, now: float, error: str) -> None:
+        """-> ABORTED: fail both completion events so no waiter deadlocks.
+
+        Every process blocked on (or later yielding) ``dispatched_event`` or
+        ``durable_event`` has :class:`~repro.fs.errors.EIOError` thrown into
+        it — the journal's failure surfaces at the issuing system call
+        instead of being absorbed.
+        """
+        from repro.fs.errors import EIOError
+
+        self.state = TransactionState.ABORTED
+        self.error = error
+        self.durable_at = None
+        failure = EIOError(f"journal commit of txn {self.txid} failed: {error}")
+        if self.dispatched_event is not None and not self.dispatched_event.triggered:
+            self.dispatched_event.fail(failure)
+        if self.durable_event is not None and not self.durable_event.triggered:
+            self.durable_event.fail(failure)

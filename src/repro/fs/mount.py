@@ -19,6 +19,10 @@ class JournalMode(enum.Enum):
     DATA = "data"
 
 
+#: Accepted ``errors=`` behaviours (mirroring ext4's mount option).
+ERRORS_BEHAVIORS = ("remount-ro", "continue", "panic")
+
+
 @dataclass(frozen=True)
 class MountOptions:
     """Options that change how the filesystems enforce the storage order."""
@@ -36,9 +40,19 @@ class MountOptions:
     metadata_buffers_per_allocation: int = 2
     #: Maximum pages of one file extent (controls the LBA layout).
     max_file_pages: int = 1 << 20
+    #: What to do when the journal fails durably (ext4 ``errors=``):
+    #: ``remount-ro`` aborts the journal and degrades the mount to read-only,
+    #: ``continue`` fails the affected transaction but keeps the mount
+    #: writable, ``panic`` tears down the whole run.
+    errors: str = "remount-ro"
 
     def __post_init__(self) -> None:
         if self.timestamp_granularity < 0:
             raise ValueError("timestamp granularity cannot be negative")
         if self.metadata_buffers_per_allocation < 1:
             raise ValueError("allocating writes dirty at least one metadata buffer")
+        if self.errors not in ERRORS_BEHAVIORS:
+            raise ValueError(
+                f"errors= must be one of {', '.join(ERRORS_BEHAVIORS)}; "
+                f"got {self.errors!r}"
+            )

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.block.block_device import BlockDevice
+from repro.fs.errors import EIOError
 from repro.fs.inode import File
 from repro.fs.journal.jbd2 import JBD2Journal
 from repro.fs.mount import MountOptions
@@ -59,21 +60,34 @@ class OptFS(FilesystemBase):
     def osync(self, file: File, *, issuer: str = "app"):
         """Generator: ordering guarantee without durability."""
         self.stats.osync += 1
-        yield from self._commit(file, issuer=issuer, durable=False)
+        yield from self._commit_counted(file, issuer=issuer, durable=False)
 
     def dsync(self, file: File, *, issuer: str = "app"):
         """Generator: osync() plus a cache flush (full durability)."""
-        yield from self._commit(file, issuer=issuer, durable=True)
+        yield from self._commit_counted(file, issuer=issuer, durable=True)
 
     def fsync(self, file: File, *, issuer: str = "app"):
         """Generator: POSIX fsync maps to dsync (ordering + durability)."""
         self.stats.fsync += 1
-        yield from self._commit(file, issuer=issuer, durable=True)
+        yield from self._commit_counted(file, issuer=issuer, durable=True)
 
     def fdatasync(self, file: File, *, issuer: str = "app"):
         """Generator: treated like fsync (OptFS journals metadata anyway)."""
         self.stats.fdatasync += 1
-        yield from self._commit(file, issuer=issuer, durable=True)
+        yield from self._commit_counted(file, issuer=issuer, durable=True)
+
+    def _commit_counted(self, file: File, *, issuer: str, durable: bool):
+        # Like EXT4 (and unlike BarrierFS) the pages are claimed clean at
+        # writeback submission, so a failed commit leaves the file clean.
+        try:
+            yield from self._commit(file, issuer=issuer, durable=durable)
+        except EIOError:
+            self.stats.eio_errors += 1
+            raise
+        if durable:
+            # Only the durability-claiming calls move the acked high-water
+            # mark; osync() promises ordering, not persistence.
+            self.acknowledge_durable(file.inode)
 
     def _commit(self, file: File, *, issuer: str, durable: bool):
         inode = file.inode
@@ -96,6 +110,7 @@ class OptFS(FilesystemBase):
         writeback = self.writeback_data(file, issuer=issuer)
         for event in writeback.transfer_events:
             yield event
+        self._check_requests(writeback.requests)
         for block in writeback.blocks:
             self.journal.add_ordered_data(block.block, block.version)
 
@@ -111,7 +126,14 @@ class OptFS(FilesystemBase):
 
     # ------------------------------------------------------------------ background durability
     def _checkpointer(self):
-        """Periodically flush the device cache (delayed durability)."""
+        """Periodically flush the device cache (delayed durability).
+
+        A failed background flush must not kill the daemon: delayed
+        durability degrades, it does not crash the mount.
+        """
         while True:
             yield self.sim.timeout(self.checkpoint_interval)
-            yield from self.issue_flush(issuer="optfs-checkpoint")
+            try:
+                yield from self.issue_flush(issuer="optfs-checkpoint")
+            except EIOError:
+                self.stats.eio_errors += 1

@@ -23,6 +23,7 @@ from typing import Generator, Optional, Sequence
 
 from repro.block.block_device import BlockDevice
 from repro.block.request import BlockRequest, RequestFlag
+from repro.fs.errors import EIOError, ReadOnlyFSError
 from repro.fs.inode import File, Inode, PageCacheStats, group_bitmap_block, make_inode, timestamp_tick
 from repro.fs.mount import MountOptions
 from repro.simulation.engine import Event, Simulator
@@ -42,6 +43,13 @@ class SyscallStats:
     journal_commits: int = 0
     data_requests: int = 0
     flush_requests: int = 0
+    reads: int = 0
+    #: Sync-family calls that surfaced an :class:`EIOError` to the caller.
+    eio_errors: int = 0
+    #: Times a durable journal failure flipped the mount read-only.
+    remount_ro_events: int = 0
+    #: Application-level sync retries issued by a :class:`SyncPolicy`.
+    sync_retries: int = 0
 
     def snapshot(self) -> dict[str, int]:
         """Plain-dict view of the counters."""
@@ -86,6 +94,17 @@ class FilesystemBase:
         self._inodes: dict[str, Inode] = {}
         self._inode_numbers = itertools.count(1)
         self._journal_lba = 1 << 30
+        #: Whether the mount has degraded to read-only (``errors=remount-ro``
+        #: after a durable journal failure).  Writes raise
+        #: :class:`ReadOnlyFSError` while the flag is set; reads keep working.
+        self.read_only = False
+        # Error propagation is method-swapped in (the fault-injector /
+        # tracer pattern): with no injector installed a block request can
+        # never carry an error status, so the default check sites are no-ops
+        # and the no-fault hot path stays unchanged (pinned by perfbench's
+        # ``recovery_overhead_pct``).
+        self._request_error = self._request_error_never
+        self._check_requests = self._check_requests_never
 
     # ------------------------------------------------------------------ namespace
     def create(self, name: str, *, preallocate_pages: int = 0) -> File:
@@ -129,6 +148,10 @@ class FilesystemBase:
         metadata when the write allocates new blocks or crosses a timestamp
         tick; no IO is issued.  Returns the page indexes written.
         """
+        if self.read_only:
+            raise ReadOnlyFSError(
+                f"{self.name}: mount is read-only after a journal failure"
+            )
         inode = file.inode
         start = offset_page if offset_page is not None else file.append_page
         pages = list(range(start, start + num_pages))
@@ -159,6 +182,7 @@ class FilesystemBase:
     def _dirty_metadata(self, inode: Inode) -> None:
         inode.metadata_dirty = True
         inode.metadata_version += 1
+        inode.metadata_history[inode.metadata_version] = inode.size_pages
         self.page_cache_stats.metadata_dirties += 1
 
     # ------------------------------------------------------------------ writeback
@@ -216,11 +240,42 @@ class FilesystemBase:
         return runs
 
     def issue_flush(self, *, issuer: str = "app") -> Generator[Event, object, BlockRequest]:
-        """Generator: submit a cache flush and wait for it to complete."""
+        """Generator: submit a cache flush and wait for it to complete.
+
+        With error propagation enabled, a flush that completed with an error
+        status raises :class:`EIOError` here instead of returning.
+        """
         self.stats.flush_requests += 1
         request = self.block.flush(issuer=issuer)
         yield request.completed
+        self._check_requests((request,))
         return request
+
+    # ------------------------------------------------------------------ read()
+    def read(
+        self,
+        file: File,
+        num_pages: int = 1,
+        *,
+        offset_page: int = 0,
+        issuer: str = "app",
+    ) -> Generator[Event, object, list[int]]:
+        """Generator: read ``num_pages`` pages from the device.
+
+        Models a cold-cache read (every call issues a device read command);
+        what matters to the robustness scenarios is that reads keep being
+        serviced after the mount degrades to read-only.  Returns the page
+        indexes read (clamped to the file size).
+        """
+        inode = file.inode
+        count = max(0, min(num_pages, inode.size_pages - offset_page))
+        if count == 0:
+            return []
+        request = self.block.read(inode.lba_of(offset_page), count, issuer=issuer)
+        yield request.completed
+        self._check_requests((request,))
+        self.stats.reads += 1
+        return list(range(offset_page, offset_page + count))
 
     def throttle_writeback(self, *, limit_factor: int = 4) -> Generator[Event, object, None]:
         """Generator: block the caller while the IO queues are overloaded.
@@ -254,6 +309,85 @@ class FilesystemBase:
         lba = self._journal_lba
         self._journal_lba += num_pages
         return lba
+
+    # ------------------------------------------------------------------ error propagation
+    def enable_error_propagation(self) -> None:
+        """Swap the strict request-error checks onto the sync paths.
+
+        Installed by :func:`repro.scenarios.prepare_spec` whenever a fault
+        injector rides on the spec, and by :func:`repro.recovery.remount`
+        (a remounted filesystem is by definition running through failures).
+        Mirrors the fault-injector/tracer discipline: the hooks cost nothing
+        until something can actually produce an error.
+        """
+        self._request_error = self._request_error_strict
+        self._check_requests = self._check_requests_strict
+
+    @property
+    def error_propagation_enabled(self) -> bool:
+        """Whether the strict request-error checks are installed."""
+        installed = getattr(self._request_error, "__func__", None)
+        return installed is FilesystemBase._request_error_strict
+
+    def _request_error_never(self, request: BlockRequest) -> Optional[str]:
+        return None
+
+    def _request_error_strict(self, request: BlockRequest) -> Optional[str]:
+        return request.error
+
+    def _check_requests_never(self, requests) -> None:
+        return None
+
+    def _check_requests_strict(self, requests) -> None:
+        for request in requests:
+            if request.error is not None:
+                raise EIOError(
+                    f"{request.op.value} lba={request.lba} "
+                    f"pages={request.num_pages}: {request.error}"
+                )
+
+    def journal_failed(self, error: str) -> str:
+        """Apply the mount's ``errors=`` behaviour to a durable journal failure.
+
+        Returns the behaviour applied so the journal can decide whether to
+        abort itself (``remount-ro``), keep committing (``continue``), or
+        raise out of its daemon (``panic`` — the caller raises, so the
+        failure tears down the run the way a kernel panic would).
+        """
+        behavior = self.options.errors
+        if behavior == "remount-ro" and not self.read_only:
+            self.read_only = True
+            self.stats.remount_ro_events += 1
+        return behavior
+
+    def acknowledge_durable(self, inode: Inode) -> None:
+        """Record that a durability-claiming sync acknowledged this size.
+
+        Called on the successful return path of ``fsync``/``fdatasync``/
+        ``dsync`` (not the ordering-only barrier calls): the application was
+        just promised that everything up to the current size survives power
+        loss.  The recovered-acked-prefix oracle holds the stack to it.
+        """
+        if inode.size_pages > inode.synced_size_pages:
+            inode.synced_size_pages = inode.size_pages
+
+    # ------------------------------------------------------------------ remount support
+    def adopt_inode(self, name: str, inode_no: int, *, size_pages: int = 0) -> Inode:
+        """Register a recovered inode under its original number.
+
+        Used by :func:`repro.recovery.remount` to rebuild the namespace a
+        journal recovery produced: the inode keeps its pre-crash number (and
+        therefore its LBA extent).  Callers adopt inodes in ascending
+        ``inode_no`` order; the allocator is bumped past each adoption so
+        files created afterwards get fresh numbers.
+        """
+        inode = make_inode(
+            inode_no, name, self.options.max_file_pages,
+            preallocated_pages=size_pages,
+        )
+        self._inodes[name] = inode
+        self._inode_numbers = itertools.count(inode_no + 1)
+        return inode
 
     # ------------------------------------------------------------------ sync family (abstract)
     def fsync(self, file: File, *, issuer: str = "app"):

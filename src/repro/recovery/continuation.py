@@ -1,0 +1,94 @@
+"""The deterministic continuation a remounted stack runs.
+
+After :func:`repro.recovery.remount` the judge does what a restarted
+application would do: reopen its log, keep appending and syncing.  The
+sync goes through a :class:`repro.apps.syncpolicy.SyncPolicy` so the
+error policy is an experiment axis — ``retry`` survives transient IO
+errors, ``abort`` stops at the first one, ``reopen`` re-stages before
+retrying — and the loop stops cleanly (no deadlock, no unhandled error)
+when the mount degrades: a write raising
+:class:`~repro.fs.errors.ReadOnlyFSError` or a sync exhausting its
+retries ends the continuation with the error recorded in the outcome.
+
+Power is cut **immediately after the last acknowledgement** — no drain,
+no grace period.  That is the adversarial moment: everything the
+continuation's syncs acknowledged must already be durable, which is
+exactly what the ``recovered-continuation-durability`` oracle checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.syncpolicy import ERROR_POLICIES, Guarantee, SyncPolicy
+from repro.core.stack import IOStack
+from repro.fs.errors import EIOError, ReadOnlyFSError
+
+#: Fallback continuation file for workloads without an append-only log.
+DEFAULT_CONTINUATION_FILE = "recovery.dat"
+
+
+@dataclass(frozen=True)
+class ContinuationPlan:
+    """How the post-remount continuation behaves (picklable, frozen)."""
+
+    #: Append+sync iterations to run after the remount.
+    calls: int = 16
+    #: Pages appended per iteration.
+    pages_per_write: int = 1
+    #: :data:`repro.apps.syncpolicy.ERROR_POLICIES` member.
+    on_error: str = "retry"
+    #: Retries per sync before the error stops the continuation.
+    max_sync_retries: int = 3
+
+    def __post_init__(self) -> None:
+        if self.calls < 1:
+            raise ValueError(f"continuation needs at least 1 call, got {self.calls}")
+        if self.on_error not in ERROR_POLICIES:
+            raise ValueError(
+                f"on_error must be one of {ERROR_POLICIES}, got {self.on_error!r}"
+            )
+
+
+def continuation_file(spec) -> str:
+    """The file the continuation appends to (the workload's log if it has one)."""
+    from repro.crashlab.oracles import APPEND_LOG_FILES
+
+    return APPEND_LOG_FILES.get(spec.workload, (DEFAULT_CONTINUATION_FILE,))[0]
+
+
+def run_continuation(stack: IOStack, spec, plan: ContinuationPlan) -> dict:
+    """Append and sync on the remounted stack, then cut power.
+
+    Returns ``{"completed": n, "error": name-or-None}`` — how many
+    append+sync iterations were acknowledged and what (if anything)
+    stopped the loop early.
+    """
+    fs = stack.fs
+    name = continuation_file(spec)
+    outcome: dict[str, object] = {"completed": 0, "error": None}
+
+    def loop():
+        policy = SyncPolicy(
+            fs, on_error=plan.on_error, max_sync_retries=plan.max_sync_retries
+        )
+        try:
+            handle = fs.open(name) if fs.exists(name) else fs.create(name)
+        except ReadOnlyFSError as error:
+            outcome["error"] = type(error).__name__
+            return
+        for _ in range(plan.calls):
+            try:
+                fs.write(handle, plan.pages_per_write)
+                yield from policy.synced(
+                    handle, Guarantee.DURABILITY, issuer="continuation", metadata=True
+                )
+            except (EIOError, ReadOnlyFSError) as error:
+                outcome["error"] = type(error).__name__
+                return
+            outcome["completed"] = int(outcome["completed"]) + 1
+
+    stack.run_process(loop())
+    # The second crash: right after the last acknowledgement, no drain.
+    stack.device.power_off()
+    return outcome

@@ -89,6 +89,13 @@ def prepare_spec(spec: ScenarioSpec, *, tracer=None) -> Workload:
             from repro.faults import FaultInjector
 
             FaultInjector(spec.faults, seed=spec.seed).install(stack.device)
+            # With an injector riding along, block requests can complete
+            # with an error status; swap in the strict checks so
+            # retry-exhausted IO surfaces as EIOError at the issuing
+            # syscall instead of being silently swallowed.  Without faults
+            # the hooks stay the no-op defaults (the no-fault hot path is
+            # pinned by perfbench's recovery_overhead_pct).
+            stack.fs.enable_error_propagation()
         if tracer is not None:
             tracer.install(stack)
     elif tracer is not None:
@@ -155,6 +162,12 @@ def collect_device_stats(stack) -> Optional[dict[str, dict[str, object]]]:
     }
     snapshot["device"]["queue_depth_mean"] = device.queue_depth.mean()
     snapshot["device"]["queue_depth_peak"] = device.queue_depth.peak
+    fs_stats = stack.fs.stats
+    snapshot["fs"] = {
+        "eio_errors": fs_stats.eio_errors,
+        "remount_ro_events": fs_stats.remount_ro_events,
+        "sync_retries": fs_stats.sync_retries,
+    }
     return snapshot
 
 
@@ -278,6 +291,9 @@ SWEEP_METRIC_COLUMNS = (
     ("busy_rejections", "device", "busy_rejections"),
     ("commands", "device", "commands_submitted"),
     ("flushes", "device", "flushes_serviced"),
+    ("eio_errors", "fs", "eio_errors"),
+    ("remount_ro_events", "fs", "remount_ro_events"),
+    ("sync_retries", "fs", "sync_retries"),
 )
 
 
